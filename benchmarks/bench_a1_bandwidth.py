@@ -1,0 +1,17 @@
+"""A1 — ablation: where the paper's ``log n`` bandwidth assumption
+bites (bulk column exchanges) and where it doesn't (thin 1-D boundary
+streams)."""
+
+from conftest import run_experiment_bench
+
+
+def test_a1_bandwidth_ablation(benchmark):
+    result = run_experiment_bench(
+        benchmark,
+        "a1",
+        expected_true=[
+            "bulk penalty real but within log n",
+            "log n recovers most of the bulk gap",
+        ],
+    )
+    assert result.summary["1-D streams: bw=1 penalty (thin traffic, ~1.0)"] < 1.3

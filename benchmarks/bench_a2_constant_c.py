@@ -1,0 +1,16 @@
+"""A2 — ablation: the constant ``c > 2`` of the killing/labelling
+stages (guest size vs overlap-window trade-off)."""
+
+from conftest import run_experiment_bench
+
+
+def test_a2_constant_c_ablation(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "a2",
+        expected_true=[
+            "guest size grows with c",
+            "killed fraction within 2/c everywhere",
+            "guest size meets the Lemma-2 floor",
+        ],
+    )

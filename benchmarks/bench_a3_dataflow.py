@@ -1,0 +1,17 @@
+"""A3 — ablation: the dataflow model hides the same latency with zero
+redundancy; the database model cannot (Section 6's moral)."""
+
+from conftest import run_experiment_bench
+
+
+def test_a3_dataflow_vs_database(benchmark):
+    result = run_experiment_bench(
+        benchmark,
+        "a3",
+        expected_true=[
+            "dataflow redundancy exactly 1.0",
+            "database redundancy > 2x",
+            "same slowdown order",
+        ],
+    )
+    assert 0.35 <= result.summary["dataflow exponent (~0.5)"] <= 0.7

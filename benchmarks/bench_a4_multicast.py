@@ -1,0 +1,12 @@
+"""A4 — ablation: multicast boundary streams cut pebble-hops at equal
+correctness and makespan."""
+
+from conftest import run_experiment_bench
+
+
+def test_a4_multicast_ablation(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "a4",
+        expected_true=["multicast never hurts makespan (within 5%)"],
+    )

@@ -1,0 +1,10 @@
+"""E10 — Lemmas 1-4: killing/labelling invariants across host styles."""
+
+from conftest import run_experiment_bench
+
+
+def test_e10_killing_lemmas(benchmark):
+    result = run_experiment_bench(
+        benchmark, "e10", expected_true=["all lemma bounds hold"]
+    )
+    assert result.summary["max killed fraction (<= ~2/c = 0.5)"] <= 0.5

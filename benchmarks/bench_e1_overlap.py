@@ -1,0 +1,15 @@
+"""E1 — Theorem 2: OVERLAP slowdown ``O(d_ave log^3 n)``.
+
+Regenerates the d_ave and n sweeps; asserts the measured points stay
+below the explicit schedule bound and the growth shapes match.
+"""
+
+from conftest import run_experiment_bench
+
+
+def test_e1_overlap_slowdown(benchmark):
+    result = run_experiment_bench(
+        benchmark, "e1", expected_true=["all points below schedule bound"]
+    )
+    assert 0.4 <= result.summary["d_ave exponent (paper: ~1)"] <= 1.3
+    assert result.summary["n exponent (paper: polylog, i.e. << 1)"] < 0.5

@@ -1,0 +1,12 @@
+"""E2 — Theorem 3: the work-efficient blocked variant.
+
+Block-factor sweep on a skewed host: blocking must raise efficiency by
+an order of magnitude and hide the long link.
+"""
+
+from conftest import run_experiment_bench
+
+
+def test_e2_work_efficiency(benchmark):
+    result = run_experiment_bench(benchmark, "e2", expected_true=["d_max hidden"])
+    assert result.summary["efficiency gain (max block / load-1)"] > 5

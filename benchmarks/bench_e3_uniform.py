@@ -1,0 +1,17 @@
+"""E3 — Theorem 4: ``sqrt(d)`` slowdown on uniform-delay hosts.
+
+The central scaling result: the log-log exponent of slowdown vs d must
+sit near 0.5 and every point must respect the 5d-per-round phased
+bound.
+"""
+
+from conftest import run_experiment_bench
+
+
+def test_e3_sqrt_d_scaling(benchmark):
+    result = run_experiment_bench(
+        benchmark,
+        "e3",
+        expected_true=["beats naive at d >= 64", "all below phased bound"],
+    )
+    assert 0.35 <= result.summary["log-log exponent (paper: 0.5)"] <= 0.7

@@ -1,0 +1,14 @@
+"""E4 — Theorem 5: composing Theorem 4 with OVERLAP cuts the ``d_ave``
+exponent from ~1 toward ~0.5."""
+
+from conftest import run_experiment_bench
+
+
+def test_e4_composition(benchmark):
+    result = run_experiment_bench(
+        benchmark, "e4", expected_true=["composition wins at large d"]
+    )
+    comp = result.summary["composed exponent (paper: ~0.5)"]
+    plain = result.summary["plain exponent (paper: ~1)"]
+    assert comp < plain
+    assert comp <= 0.8

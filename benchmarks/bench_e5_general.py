@@ -1,0 +1,15 @@
+"""E5 — Theorem 6 on general bounded-degree hosts, plus the Section-4
+clique-chain counterexample (unbounded degree defeats the theorem)."""
+
+from conftest import run_experiment_bench
+
+
+def test_e5_general_hosts(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "e5",
+        expected_true=[
+            "all dilations <= 3 (Fact 3)",
+            "clique-chain slowdowns exceed n^(1/4)",
+        ],
+    )

@@ -1,0 +1,12 @@
+"""E6 — Theorems 7-8: 2-D guests on linear hosts, both cases of the
+column-block simulation, verified bit-for-bit."""
+
+from conftest import run_experiment_bench
+
+
+def test_e6_two_dimensional(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "e6",
+        expected_true=["all verified", "case-2 redundancy <= 3x (paper's factor)"],
+    )

@@ -1,0 +1,17 @@
+"""E7 — Theorem 9: one copy per database pays ``d_max = sqrt(n)`` on
+H1; redundant OVERLAP is d_max-independent and eventually wins."""
+
+from conftest import run_experiment_bench
+
+
+def test_e7_one_copy_lower_bound(benchmark):
+    result = run_experiment_bench(
+        benchmark,
+        "e7",
+        expected_true=[
+            "measured >= audit bound everywhere",
+            "1-copy slowdown tracks d_max",
+            "OVERLAP slowdown is d_max-independent (flat)",
+        ],
+    )
+    assert result.summary["redundancy starts winning at n"] is not None

@@ -1,0 +1,17 @@
+"""E8 — Theorem 10: two copies + constant load still pay
+``Omega(log n)`` on H2, while staying far below ``d = sqrt(n)``."""
+
+from conftest import run_experiment_bench
+
+
+def test_e8_two_copy_lower_bound(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "e8",
+        expected_true=[
+            "Fact 4 holds on every instance",
+            "measured >= analytic bound",
+            "measured grows with log n",
+            "measured stays below d = sqrt(n)",
+        ],
+    )

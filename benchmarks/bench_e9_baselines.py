@@ -1,0 +1,12 @@
+"""E9 — the headline comparison: lockstep / single-copy / prior-art vs
+OVERLAP as ``d_max`` grows, including the crossover point."""
+
+from conftest import run_experiment_bench
+
+
+def test_e9_baseline_crossover(benchmark):
+    result = run_experiment_bench(benchmark, "e9")
+    assert result.summary["1-copy exponent in d_max (~1)"] > 0.8
+    assert result.summary["blocked OVERLAP exponent (<< 1)"] < 0.5
+    assert result.summary["who wins at the largest F"] == "OVERLAP"
+    assert result.summary["OVERLAP starts winning at F"] is not None

@@ -1,0 +1,9 @@
+"""F1 — Figure 1: pebble dependency structure and cone growth."""
+
+from conftest import run_experiment_bench
+
+
+def test_f1_pebble_dependencies(benchmark):
+    run_experiment_bench(
+        benchmark, "f1", expected_true=["cone width grows by 2 per step"]
+    )

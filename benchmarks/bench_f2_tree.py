@@ -1,0 +1,9 @@
+"""F2 — Figure 2: the annotated interval tree on a concrete host."""
+
+from conftest import run_experiment_bench
+
+
+def test_f2_interval_tree(benchmark):
+    result = run_experiment_bench(benchmark, "f2")
+    assert result.summary["killed stage1"] >= 1  # the long links bite
+    assert result.summary["root label n'"] > 0

@@ -1,0 +1,9 @@
+"""F3 — Figure 3: the recursive box structure and schedule values."""
+
+from conftest import run_experiment_bench
+
+
+def test_f3_box_recursion(benchmark):
+    result = run_experiment_bench(benchmark, "f3")
+    assert result.summary["k_max"] >= 2
+    assert result.summary["slowdown bound"] > 0

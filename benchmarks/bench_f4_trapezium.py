@@ -1,0 +1,11 @@
+"""F4 — Figure 4: trapezium/exchange/triangle phase accounting."""
+
+from conftest import run_experiment_bench
+
+
+def test_f4_trapezium_phases(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "f4",
+        expected_true=["rounds within 5d", "measured within round budget"],
+    )

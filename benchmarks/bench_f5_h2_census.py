@@ -1,0 +1,15 @@
+"""F5 — Figure 5: the H2 level-k box construction census."""
+
+from conftest import run_experiment_bench
+
+
+def test_f5_h2_census(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "f5",
+        expected_true=[
+            "long links match 2^k exactly",
+            "d_ave constant across sizes",
+            "Fact 4 holds everywhere",
+        ],
+    )

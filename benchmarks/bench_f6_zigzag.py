@@ -1,0 +1,14 @@
+"""F6 — Figure 6: the 4j-pebble zigzag dependency path."""
+
+from conftest import run_experiment_bench
+
+
+def test_f6_zigzag_path(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "f6",
+        expected_true=[
+            "all paths are valid dependency chains",
+            "single-copy pays along the path",
+        ],
+    )

@@ -1,0 +1,83 @@
+"""Substrate microbenchmarks (real repeated-round timings).
+
+The experiment benches run once (they are end-to-end simulations); the
+substrate hot paths, by contrast, are microbenchmarked properly so
+performance regressions in the event queue, link pipes, mixing
+primitives or the executor inner loop are visible across commits —
+the optimisation-guide discipline of "no optimisation without
+measuring".
+"""
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.executor import GreedyExecutor
+from repro.machine.guest import GuestArray
+from repro.machine.host import HostArray
+from repro.machine.mixing import mix4_s, splitmix_v
+from repro.machine.programs import CounterProgram
+from repro.netsim.events import EventQueue
+from repro.netsim.links import LinkPipe
+
+
+def test_eventqueue_push_pop(benchmark):
+    def run():
+        q = EventQueue()
+        for i in range(2000):
+            q.push(i % 97, 0, i)
+        while q:
+            q.pop()
+
+    benchmark(run)
+
+
+def test_linkpipe_inject(benchmark):
+    def run():
+        pipe = LinkPipe(delay=5, bandwidth=4)
+        t = 0
+        for i in range(5000):
+            t += i % 2
+            pipe.inject(t)
+
+    benchmark(run)
+
+
+def test_scalar_mixing(benchmark):
+    def run():
+        acc = 0
+        for i in range(2000):
+            acc = mix4_s(acc, i, i * 3, i * 7)
+        return acc
+
+    benchmark(run)
+
+
+def test_vector_mixing_row(benchmark):
+    x = np.arange(4096, dtype=np.uint64)
+
+    def run():
+        return splitmix_v(x)
+
+    benchmark(run)
+
+
+def test_reference_executor_throughput(benchmark):
+    guest = GuestArray(256, CounterProgram())
+
+    def run():
+        return guest.run_reference(64)
+
+    benchmark(run)
+
+
+def test_greedy_executor_throughput(benchmark):
+    host = HostArray.uniform(32, 2)
+    asg = Assignment([(2 * i + 1, 2 * i + 4) for i in range(31)] + [(63, 64)], 64)
+    asg.validate()
+    prog = CounterProgram()
+
+    def run():
+        return GreedyExecutor(host, asg, prog, 16).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["pebbles"] = result.stats.pebbles

@@ -1,0 +1,11 @@
+"""X1 — Section 7's open questions, explored: delay *variance* in
+isolation (identical G/H structure, fixed d_ave) and rings."""
+
+from conftest import run_experiment_bench
+
+
+def test_x1_open_questions(benchmark):
+    result = run_experiment_bench(
+        benchmark, "x1", expected_true=["redundancy makes variance nearly irrelevant"]
+    )
+    assert result.summary["ring overhead vs array (paper: <= 2)"] <= 2.2

@@ -1,0 +1,16 @@
+"""X2 — the higher-dimensional generalization of Theorem 8 (Section
+5's closing remark), for D = 2, 3, 4."""
+
+from conftest import run_experiment_bench
+
+
+def test_x2_higher_dimensions(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "x2",
+        expected_true=[
+            "all verified",
+            "redundancy <= 3x in every dimension",
+            "measured within 2.5x of the generalized estimate",
+        ],
+    )

@@ -1,0 +1,16 @@
+"""X3 — least-squares calibration of the constants behind the paper's
+asymptotic bounds (Theorems 2, 4, 7)."""
+
+from conftest import run_experiment_bench
+
+
+def test_x3_constant_calibration(benchmark):
+    run_experiment_bench(
+        benchmark,
+        "x3",
+        expected_true=[
+            "Thm 4 constant within the paper's 5",
+            "Thm 7 constant within the paper's 3",
+            "all fits high quality (R^2 > 0.95)",
+        ],
+    )

@@ -1,0 +1,11 @@
+"""X4 — the block-factor planner's recommendations vs measured
+optima across host archetypes."""
+
+from conftest import run_experiment_bench
+
+
+def test_x4_planner_validation(benchmark):
+    result = run_experiment_bench(
+        benchmark, "x4", expected_true=["recommendation within one rung everywhere"]
+    )
+    assert result.summary["worst regret (planned vs best)"] <= 1.6

@@ -1,0 +1,37 @@
+"""Shared bench plumbing.
+
+Each bench runs one experiment (see ``repro.experiments``) exactly once
+under ``pytest-benchmark`` (``pedantic`` mode — these are end-to-end
+simulations, not microbenchmarks), asserts the experiment's shape
+checks, prints the paper-style table, and writes it to ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import get_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def run_experiment_bench(benchmark, exp_id: str, expected_true: list[str] | None = None):
+    """Run experiment ``exp_id`` once under the benchmark fixture.
+
+    ``expected_true`` lists summary keys that must be truthy — the
+    "shape holds" assertions recorded in EXPERIMENTS.md.
+    """
+    run = get_experiment(exp_id)
+    result = benchmark.pedantic(run, kwargs={"quick": True}, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: str(v) for k, v in result.summary.items()}
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(result.render() + "\n")
+    print()
+    result.print()
+    for key in expected_true or []:
+        assert result.summary.get(key), f"{exp_id}: shape check failed: {key}"
+    return result

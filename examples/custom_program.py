@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Bring your own guest program (the paper's "automatic" promise).
+
+The whole point of automatic latency hiding is that the programmer
+writes for the idealised unit-delay machine and never thinks about the
+NOW's latencies.  This example writes a tiny epidemic/gossip model as a
+plain step function, wraps it with ``program_from_step``, sanity-checks
+determinism, and runs it through OVERLAP on a heterogeneous host —
+replicas, scheduling, communication and bit-exact verification all
+come from the library.
+
+Run:  python examples/custom_program.py
+"""
+
+from repro.analysis.report import print_kv
+from repro.core.overlap import simulate_overlap
+from repro.machine.mixing import MASK
+from repro.machine.udsl import check_determinism, program_from_step
+from repro.topology.presets import wan
+
+
+def gossip_step(i, t, state, left, up, right):
+    """Each site keeps an infection counter; a step mixes the
+    neighbourhood's rumours and escalates the local count when the
+    mixed rumour has low bits set (a deterministic 'infection')."""
+    rumour = (left * 3 + up * 5 + right * 7 + t) & MASK
+    infected = (rumour & 0xF) < 4
+    value = (rumour ^ state) & MASK
+    update = 1 if infected else 0
+    return value, update
+
+
+def main() -> None:
+    prog = program_from_step(
+        gossip_step,
+        init=lambda i: (i * 2654435761) & MASK,
+        apply=lambda s, u: (s + u) & MASK,
+        name="gossip",
+    )
+    check_determinism(prog)
+    print("determinism check: ok")
+
+    host = wan(96, seed=2)
+    print_kv(
+        {"host": host.name, "d_ave": round(host.d_ave, 2), "d_max": host.d_max},
+        title="Host",
+    )
+    result = simulate_overlap(host, program=prog, steps=12, block=4)
+    print_kv(
+        {
+            "guest sites": result.m,
+            "slowdown": round(result.slowdown, 1),
+            "naive (d_max+1)": host.d_max + 1,
+            "replicas per site": round(result.assignment.redundancy(), 2),
+            "bit-exact verified": result.verified,
+        },
+        title="OVERLAP run",
+    )
+    print(
+        "\nThe step function never mentions delays, replicas or messages — "
+        "that is the paper's contract."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Why databases make latency hiding harder (the paper's Section-6 moral).
+
+Runs the same sqrt(d) latency-hiding idea in both computation models on
+uniform-delay hosts, sweeping d:
+
+* **database model** (Theorem 4): only processors holding a replica of
+  database ``b_i`` can compute column ``i``, so the overlapping block
+  assignment *recomputes* boundary regions — ~2.7 copies per pebble;
+* **dataflow model** (companion paper [2]): any processor can compute
+  any pebble, so the boundary trapezoids are computed once and
+  *shipped* — redundancy exactly 1.0.
+
+Both achieve slowdown ~ sqrt(d); the difference is pure redundancy,
+which is the quantitative content of "it is easier to overcome
+latencies in dataflow types of computations".
+
+Run:  python examples/dataflow_vs_database.py
+"""
+
+from repro.analysis.asciiplot import ascii_bars, ascii_plot
+from repro.analysis.report import print_table
+from repro.core.dataflow import simulate_dataflow
+from repro.core.uniform import simulate_uniform
+
+
+def main() -> None:
+    d_values = [4, 16, 64, 256, 1024]
+    rows = []
+    df_slows, db_slows = [], []
+    for d in d_values:
+        df = simulate_dataflow(6, d, verify=(d <= 64))
+        db = simulate_uniform(6, d, steps=df.steps, verify=False)
+        df_slows.append(df.slowdown)
+        db_slows.append(db.slowdown)
+        rows.append(
+            {
+                "d": d,
+                "dataflow slowdown": round(df.slowdown, 1),
+                "database slowdown": round(db.slowdown, 1),
+                "dataflow redundancy": df.redundancy,
+                "database redundancy": round(
+                    db.exec_result.stats.pebbles / (db.assignment.m * db.steps), 2
+                ),
+            }
+        )
+    print_table(rows, title="Same sqrt(d) slowdown, very different redundancy")
+
+    print()
+    print(
+        ascii_plot(
+            d_values,
+            {"dataflow": df_slows, "database": db_slows, "sqrt(d)": [d**0.5 for d in d_values]},
+            width=56,
+            height=12,
+            title="slowdown vs d (log-log) - both track sqrt(d)",
+        )
+    )
+
+    print("\nwork per distinct pebble at d=1024:")
+    print(
+        ascii_bars(
+            ["dataflow", "database"],
+            [rows[-1]["dataflow redundancy"], rows[-1]["database redundancy"]],
+            unit="x",
+        )
+    )
+    print(
+        "\nDataflow pebbles migrate; database pebbles are pinned to their "
+        "replicas. The paper's Theorems 9-10 show the pinning is "
+        "fundamental: without redundant replicas the slowdown jumps to "
+        "d_max (run examples/lower_bound_tour.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

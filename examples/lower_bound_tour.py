@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A tour of the Section-6 lower bounds.
+
+Constructs the two adversarial hosts and demonstrates, computationally,
+why bounding database copies caps how much latency can be hidden:
+
+* **H1** (Theorem 9): single-copy assignments pay ``d_max = sqrt(n)``
+  — the audit exhibits the adjacent databases split by a long link, and
+  a real greedy run matches the bound; OVERLAP (allowed replicas) stays
+  flat as ``n`` grows.
+* **H2** (Theorem 10, Figures 5-6): even with two copies per database
+  and constant load, the recursive box host forces ``Omega(log n)``;
+  includes the Fact-4 separation check and the 4j-pebble zigzag path.
+
+Run:  python examples/lower_bound_tour.py
+"""
+
+from repro.analysis.report import print_kv, print_table
+from repro.core.baselines import simulate_single_copy, spread_assignment
+from repro.core.executor import run_assignment
+from repro.core.overlap import simulate_overlap
+from repro.lower_bounds import (
+    fact4_violations,
+    h2_census,
+    theorem9_audit,
+    theorem10_bound,
+    windowed_assignment,
+    zigzag_is_dependency_path,
+    zigzag_path,
+)
+from repro.lower_bounds.h2 import path_delay_bound
+from repro.machine.programs import CounterProgram
+from repro.topology.generators import h1_host, h2_host
+
+
+def tour_h1() -> None:
+    rows = []
+    for n in (64, 256, 576):
+        host = h1_host(n)
+        single = simulate_single_copy(host, steps=10, verify=False)
+        audit = theorem9_audit(single.assignment, host)
+        overlap = simulate_overlap(host, steps=10, block=8, verify=False)
+        rows.append(
+            {
+                "n": n,
+                "d_max": host.d_max,
+                "audit horn": audit.horn,
+                "audit bound": round(audit.bound, 1),
+                "1-copy measured": round(single.slowdown, 1),
+                "OVERLAP (replicas)": round(overlap.slowdown, 1),
+            }
+        )
+    print_table(rows, title="H1 / Theorem 9: one copy per database")
+
+
+def tour_h2() -> None:
+    h2 = h2_host(1024)
+    print_kv(h2_census(h2), title="H2 / Figure 5 census")
+    print_kv(
+        {"Fact 4 violations": len(fact4_violations(h2))},
+        title="Fact 4 (inter-segment separation)",
+    )
+
+    asg = windowed_assignment(h2.array.n, h2.array.n, copies=2)
+    bound = theorem10_bound(h2, asg)
+    result = run_assignment(h2.array, asg, CounterProgram(), 8)
+    print_kv(
+        {
+            "assignment": "windowed, 2 copies, constant load",
+            "case detected": bound["case"],
+            "analytic Omega(log n) bound": round(bound["analytic_bound"], 2),
+            "measured slowdown": round(result.stats.makespan / 8, 1),
+            "log n": round(h2.log_n, 1),
+            "d = sqrt(n)": h2.d,
+        },
+        title="H2 / Theorem 10: two copies, constant load",
+    )
+
+    path = zigzag_path(h2.array.n // 2, 4, 64)
+    single = spread_assignment(h2.array.n, h2.array.n)
+    print_kv(
+        {
+            "path length (4j, j=4)": len(path),
+            "valid dependency chain": zigzag_is_dependency_path(path),
+            "min delay along path (1-copy)": path_delay_bound(h2, single, path),
+        },
+        title="Figure 6: the zigzag path",
+    )
+
+
+def main() -> None:
+    tour_h1()
+    tour_h2()
+    print(
+        "\nMoral (the paper's): with one copy you pay d_max; with O(1) "
+        "copies you still pay Omega(log n) on a bad host; dataflow "
+        "computations, which any processor can recompute, dodge both — "
+        "databases make latency hiding fundamentally harder."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Plan the OVERLAP configuration for *your* NOW.
+
+Theorem 3 leaves one knob to the operator: the block factor ``beta``
+(databases per processor).  The planner reads the killed/labelled
+interval tree of a host — no simulation — and predicts the per-row
+cost curve: ``2 beta`` compute against the binding boundary's
+``delay / (overlap * beta)`` latency charge.  This example plans three
+archetypal hosts, then measures the true sweep to show the prediction
+landing on (or next to) the measured optimum.
+
+Run:  python examples/plan_your_now.py
+"""
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.planner import plan_block_factor
+from repro.analysis.report import print_table
+from repro.core.overlap import simulate_overlap
+from repro.machine.host import HostArray
+from repro.topology.presets import campus, mixed_now
+
+
+def main() -> None:
+    delays = [1] * 127
+    delays[63] = 512
+    hosts = [HostArray(delays, "outlier512"), campus(96), mixed_now(96, seed=1)]
+    betas = [1, 2, 4, 8, 16, 32]
+
+    for host in hosts:
+        plan = plan_block_factor(host, candidates=betas)
+        measured = {
+            b: simulate_overlap(host, steps=16, block=b, verify=False).slowdown
+            for b in betas
+        }
+        bb = plan.binding_boundary
+        print(f"\n===== {host.name}  (d_ave={host.d_ave:.1f}, d_max={host.d_max}) =====")
+        print(
+            f"binding boundary: depth {bb.depth}, delay {bb.delay}, "
+            f"shared columns {bb.overlap:g}"
+        )
+        print(f"planner recommends beta = {plan.beta}")
+        print()
+        print(
+            ascii_plot(
+                betas,
+                {
+                    "predicted": [plan.predicted[b] for b in betas],
+                    "measured": [measured[b] for b in betas],
+                },
+                width=48,
+                height=10,
+                title="per-step cost vs beta (log-log)",
+            )
+        )
+        rows = [
+            {
+                "beta": b,
+                "predicted": round(plan.predicted[b], 1),
+                "measured": round(measured[b], 1),
+            }
+            for b in betas
+        ]
+        print()
+        print_table(rows)
+
+    print(
+        "\nThe U-shape is the paper's trade: bigger replicas hide longer "
+        "latencies but cost more compute per row; Theorem 3's "
+        "beta = d_ave log^3 n is the asymptotic minimiser, and the planner "
+        "finds the finite-size one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: hide the latency of a heterogeneous NOW.
+
+Builds a 128-workstation host whose link delays are heavy-tailed (most
+links fast, a few terrible — the paper's motivating scenario), then
+simulates a unit-delay guest array running a database workload on it
+three ways:
+
+1. the lockstep baseline (slow everything to ``d_max``);
+2. a single-copy distribution (no redundancy);
+3. algorithm OVERLAP with redundant database replicas.
+
+Every distributed run is verified bit-for-bit against a direct
+execution of the guest.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HostArray, simulate_overlap
+from repro.analysis.report import print_kv
+from repro.core.baselines import lockstep_slowdown, simulate_single_copy
+from repro.topology.delays import pareto_delays
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    host = HostArray(pareto_delays(127, rng, alpha=1.1, cap=2048))
+    print_kv(
+        {
+            "workstations": host.n,
+            "average link delay d_ave": round(host.d_ave, 2),
+            "worst link delay d_max": host.d_max,
+        },
+        title="The NOW",
+    )
+
+    steps = 16
+
+    naive = lockstep_slowdown(host)
+    single = simulate_single_copy(host, steps=steps)
+    overlap = simulate_overlap(host, steps=steps, block=8)
+
+    print_kv(
+        {
+            "lockstep (clock = d_max)": naive,
+            "single copy, greedy": round(single.slowdown, 1),
+            "OVERLAP (redundant replicas)": round(overlap.slowdown, 1),
+            "OVERLAP guest size (work-preserving)": overlap.m,
+            "OVERLAP replicas per database": round(
+                overlap.assignment.redundancy(), 2
+            ),
+            "runs verified against direct execution": overlap.verified
+            and single.verified,
+        },
+        title=f"Slowdown over {steps} guest steps",
+    )
+
+    advantage = naive / overlap.slowdown
+    print(
+        f"\nOVERLAP simulates a {overlap.m}-processor unit-delay guest on "
+        f"this NOW {advantage:.1f}x faster than slowing the clock to the "
+        f"worst link."
+    )
+
+
+if __name__ == "__main__":
+    main()

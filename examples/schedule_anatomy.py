@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Anatomy of an OVERLAP execution: watch latency being hidden.
+
+Traces a blocked OVERLAP run on a host with one terrible link and
+renders (a) the ASCII space-time diagram — host positions left to
+right, time top to bottom — and (b) the per-guest-row completion
+profile, whose burst/pause rhythm is exactly the box-recursion of the
+paper's schedule: pebbles flow freely inside overlap windows, then the
+wavefront pauses while boundary streams cross the long link, once per
+window instead of once per row.
+
+Run:  python examples/schedule_anatomy.py
+"""
+
+from repro.analysis.report import print_kv
+from repro.core.assignment import assign_databases
+from repro.core.executor import GreedyExecutor
+from repro.core.killing import kill_and_label
+from repro.machine.host import HostArray
+from repro.machine.programs import CounterProgram
+from repro.netsim.trace import Trace
+
+
+def run_traced(block: int, steps: int = 24):
+    delays = [1] * 63
+    delays[31] = 256  # the terrible link, at the top-level split
+    host = HostArray(delays)
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, block=block)
+    trace = Trace()
+    executor = GreedyExecutor(
+        host, assignment, CounterProgram(), steps, trace=trace
+    )
+    executor.run()
+    return host, trace
+
+
+def main() -> None:
+    steps = 24
+    for block in (1, 8):
+        host, trace = run_traced(block, steps)
+        print(f"\n===== block beta = {block} (d_max = {host.d_max}) =====")
+        print_kv(trace.summary(), title="run")
+        print("\nspace-time diagram (x: host position, y: time):")
+        print(trace.spacetime_ascii(host.n, width=64, height=14))
+        per_row = trace.per_row_slowdown()
+        profile = " ".join(f"{inc:>3}" for _, inc in per_row)
+        print(f"\nper-row host steps: {profile}")
+        print(f"slowdown: {trace.makespan / steps:.1f}")
+
+    print(
+        "\nWith beta=1 the overlap window at the long link is ~2 columns, "
+        "so nearly every row pays the 256-step crossing (big, regular "
+        "per-row costs).  With beta=8 the window is ~18 columns: rows "
+        "complete in bursts with one 256-step pause per window — the "
+        "paper's latency hiding, visible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Measurement and reporting utilities.
+
+* :mod:`metrics` — derived quantities (slowdown, efficiency, load,
+  redundancy, bandwidth use) from run results.
+* :mod:`scaling` — log-log exponent fits and ratio tables for checking
+  asymptotic *shapes* (the paper has no absolute numbers to match).
+* :mod:`report` — fixed-width tables the benches print, paper-style.
+"""
+
+from repro.analysis.metrics import efficiency, normalized_slowdown, slowdown
+from repro.analysis.scaling import (
+    crossover_point,
+    fit_power_law,
+    ratio_table,
+)
+from repro.analysis.report import format_table, print_table
+from repro.analysis.calibrate import LinearFit, calibration_table, fit_linear
+from repro.analysis.asciiplot import ascii_bars, ascii_plot
+from repro.analysis.planner import Plan, plan_block_factor, predict_slowdown
+
+__all__ = [
+    "slowdown",
+    "efficiency",
+    "normalized_slowdown",
+    "fit_power_law",
+    "ratio_table",
+    "crossover_point",
+    "format_table",
+    "print_table",
+    "LinearFit",
+    "fit_linear",
+    "calibration_table",
+    "ascii_plot",
+    "ascii_bars",
+    "Plan",
+    "plan_block_factor",
+    "predict_slowdown",
+]

@@ -1,0 +1,101 @@
+"""Terminal line plots for sweep results.
+
+The repository has no plotting dependency (offline numpy/networkx
+only), so benches and examples that want a visual shape check use
+these ASCII renderers: a log-log scatter for scaling sweeps and a
+simple bar chart for comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = True,
+    logy: bool = True,
+    title: str | None = None,
+) -> str:
+    """Plot one or more series against shared x values.
+
+    Each series gets a distinct glyph; log axes by default because
+    every shape check in this repository is a power law.
+    """
+    if not xs or not series:
+        return "(nothing to plot)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    def tx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ValueError("log x-axis needs positive values")
+            return math.log10(v)
+        return float(v)
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("log y-axis needs positive values")
+            return math.log10(v)
+        return float(v)
+
+    xs_t = [tx(v) for v in xs]
+    all_y = [ty(v) for ys in series.values() for v in ys]
+    x_lo, x_hi = min(xs_t), max(xs_t)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*#@"
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for xv, yv in zip(xs_t, (ty(v) for v in ys)):
+            col = round((xv - x_lo) / x_span * (width - 1))
+            row = round((yv - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_bot = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    label_w = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{label_w}} |" + "".join(row))
+    x_left = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_right = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w + f"  {x_left}" + " " * max(1, width - len(x_left) - len(x_right) - 2) + x_right
+    )
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str], values: Sequence[float], width: int = 48, unit: str = ""
+) -> str:
+    """Horizontal bar chart (linear scale)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must match")
+    if not labels:
+        return "(nothing to plot)"
+    peak = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label:>{label_w}} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

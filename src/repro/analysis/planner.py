@@ -1,0 +1,155 @@
+"""Configuration planner: choose the block factor ``beta`` for a host.
+
+The work-efficient OVERLAP variant (Theorem 3) exposes one knob, the
+block factor ``beta``.  Its effect is a clean tension:
+
+* **compute cost** — each guest row costs every processor ~``load =
+  2 beta`` pebbles of work;
+* **latency amortisation** — at each interval-tree split the sibling
+  overlap is ``~ m_{k+1} * beta`` columns, and the boundary link's
+  delay is paid once per overlap-width rows, i.e. a per-row charge of
+  ``delay_b / (overlap_b * beta)`` at the *binding* (worst) boundary.
+
+The planner extracts every split boundary from the killed/labelled
+tree (the physical delay between the children's facing live
+processors, and the overlap mass ``m_{k+1}``), forms the predicted
+per-row cost
+
+    predict(beta) = load(beta) + max_b delay_b / (overlap_b * beta) + c
+
+and recommends the minimising ``beta``.  Experiment X4 validates the
+prediction against measured sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.killing import KillingResult, kill_and_label
+from repro.machine.host import HostArray
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """One interval-tree split: physical delay vs realised overlap.
+
+    ``overlap`` is the number of *base* columns the real-interval
+    assignment actually shares across the split (>= 1 generically,
+    even where the theoretical ``m_{k+1}`` is fractional — the
+    rounding at leaves guarantees a shared column); the effective
+    amortisation window at block factor ``beta`` is ``overlap * beta``
+    rows.
+    """
+
+    depth: int
+    position_left: int
+    position_right: int
+    delay: int
+    overlap: float  # realised shared base columns across the split
+
+    def per_row_cost(self, beta: int) -> float:
+        """Latency charge per guest row at block factor ``beta``."""
+        window = max(1.0, self.overlap * beta)
+        return self.delay / window
+
+
+def split_boundaries(killing: KillingResult) -> list[Boundary]:
+    """All two-child splits of the remaining tree, with the facing
+    live processors' delay and the *realised* base-column overlap."""
+    from repro.core.assignment import assign_databases
+
+    host = killing.host
+    base = assign_databases(killing, block=1)
+    out: list[Boundary] = []
+    for node in killing.tree.all_nodes():
+        if node.removed:
+            continue
+        kids = node.live_children()
+        if len(kids) != 2:
+            continue
+        left, right = kids
+        lp = _rightmost_live(killing, left)
+        rp = _leftmost_live(killing, right)
+        if lp is None or rp is None:
+            continue
+        left_hi = max(
+            (base.ranges[p][1] for p in range(left.lo, left.hi + 1) if base.ranges[p]),
+            default=0,
+        )
+        right_lo = min(
+            (base.ranges[p][0] for p in range(right.lo, right.hi + 1) if base.ranges[p]),
+            default=base.m + 1,
+        )
+        shared = max(0, left_hi - right_lo + 1)
+        out.append(
+            Boundary(
+                depth=node.depth,
+                position_left=lp,
+                position_right=rp,
+                delay=host.distance(lp, rp),
+                overlap=float(shared),
+            )
+        )
+    return out
+
+
+def _rightmost_live(killing: KillingResult, node) -> int | None:
+    for p in range(node.hi, node.lo - 1, -1):
+        if killing.live[p]:
+            return p
+    return None
+
+
+def _leftmost_live(killing: KillingResult, node) -> int | None:
+    for p in range(node.lo, node.hi + 1):
+        if killing.live[p]:
+            return p
+    return None
+
+
+@dataclass
+class Plan:
+    """The planner's recommendation for one host."""
+
+    host_name: str
+    boundaries: list[Boundary]
+    beta: int
+    predicted: dict[int, float]  # beta -> predicted per-row cost
+
+    @property
+    def binding_boundary(self) -> Boundary | None:
+        """The split that dominates the latency charge at beta=1."""
+        if not self.boundaries:
+            return None
+        return max(self.boundaries, key=lambda b: b.per_row_cost(1))
+
+
+def predict_slowdown(killing: KillingResult, beta: int, load_per_unit: float = 2.0) -> float:
+    """Predicted per-row cost at ``beta`` (compute + binding latency)."""
+    compute = load_per_unit * beta
+    boundaries = split_boundaries(killing)
+    latency = max((b.per_row_cost(beta) for b in boundaries), default=0.0)
+    return compute + latency + 1.0
+
+
+def plan_block_factor(
+    host: HostArray,
+    c: float = 4.0,
+    candidates: list[int] | None = None,
+) -> Plan:
+    """Recommend a block factor for ``host``.
+
+    Sweeps candidate betas over the predicted-cost model and returns
+    the minimiser together with the full predicted curve (so callers
+    can see how flat the optimum is).
+    """
+    killing = kill_and_label(host, c)
+    boundaries = split_boundaries(killing)
+    if candidates is None:
+        # Geometric ladder up to the point where compute surely wins.
+        top = max(2, int(math.sqrt(max(1, host.d_max))))
+        candidates = sorted({1, 2, 4, 8, 16, 32, min(64, 2 * top)})
+    predicted = {b: predict_slowdown(killing, b) for b in candidates}
+    best = min(predicted, key=predicted.get)
+    return Plan(host.name, boundaries, best, predicted)

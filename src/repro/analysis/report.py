@@ -1,0 +1,63 @@
+"""Fixed-width table rendering for bench output.
+
+The benches print paper-style rows (one per sweep point); keeping the
+renderer tiny and dependency-free makes the output stable for
+``EXPERIMENTS.md`` and easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render dict-rows as an aligned text table.
+
+    ``columns`` selects/orders the keys (default: keys of first row).
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), max(len(row[i]) for row in cells))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.rjust(w) for v, w in zip(row, widths)) for row in cells)
+    return f"{header}\n{sep}\n{body}"
+
+
+def print_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` with an optional title banner."""
+    if title:
+        print(f"\n== {title} ==")
+    print(format_table(rows, columns))
+
+
+def print_kv(pairs: Mapping | Iterable[tuple], title: str | None = None) -> None:
+    """Print key-value pairs one per line (for scalar summaries)."""
+    if title:
+        print(f"\n== {title} ==")
+    items = pairs.items() if isinstance(pairs, Mapping) else pairs
+    for k, v in items:
+        print(f"  {k}: {_fmt(v)}")

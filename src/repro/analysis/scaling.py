@@ -1,0 +1,76 @@
+"""Scaling-shape analysis: exponent fits, ratios, crossovers.
+
+The paper's claims are asymptotic, so reproduction means checking
+*shapes*: the measured slowdown should grow like ``d^0.5`` (Theorem 4),
+``d^1`` (Theorem 2), etc.  :func:`fit_power_law` estimates the exponent
+by least squares in log-log space; :func:`crossover_point` locates
+where one method starts beating another along a sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ~ coeff * x^exponent`` with an R^2 goodness measure."""
+
+    exponent: float
+    coeff: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model value at ``x``."""
+        return self.coeff * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = a log x + b``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive data")
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    a, b = np.polyfit(lx, ly, 1)
+    pred = a * lx + b
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(a), coeff=float(math.exp(b)), r_squared=r2)
+
+
+def ratio_table(
+    xs: Sequence[float], ys: Sequence[float], normalizer
+) -> list[tuple[float, float, float]]:
+    """Rows ``(x, y, y / normalizer(x))`` — the normalised column should
+    be ~flat when the claimed shape holds."""
+    return [(x, y, y / normalizer(x)) for x, y in zip(xs, ys)]
+
+
+def crossover_point(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> float | None:
+    """First ``x`` at which series ``a`` drops to or below series ``b``
+    (``None`` if it never does).  Used for "where does OVERLAP start
+    winning" tables."""
+    for x, ya, yb in zip(xs, ys_a, ys_b):
+        if ya <= yb:
+            return x
+    return None
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (positive inputs)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(np.asarray(values, dtype=float)))))

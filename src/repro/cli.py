@@ -1,0 +1,180 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show the experiment index (theorem/figure per id).
+``run <id> [--full]``
+    Run one experiment and print its paper-style table.
+``all [--full] [--out DIR]``
+    Run every experiment, print the tables, and write one text file per
+    experiment (the inputs to EXPERIMENTS.md).
+``info``
+    Package / paper summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import __version__
+from repro.experiments import get_experiment, list_experiments
+
+_TITLES = {
+    "e1": "Theorem 2  - OVERLAP slowdown O(d_ave log^3 n)",
+    "e2": "Theorem 3  - work-efficient blocked variant",
+    "e3": "Theorem 4  - sqrt(d) on uniform-delay hosts",
+    "e4": "Theorem 5  - composed sqrt(d_ave) polylog",
+    "e5": "Theorem 6  - general hosts + Sec.4 clique chain",
+    "e6": "Theorems 7-8 - 2-D guests on linear hosts",
+    "e7": "Theorem 9  - one-copy lower bound (H1)",
+    "e8": "Theorem 10 - two-copy lower bound (H2)",
+    "e9": "Section 1  - baselines vs OVERLAP crossover",
+    "e10": "Lemmas 1-4 - killing/labelling invariants",
+    "f1": "Figure 1   - pebble dependencies",
+    "f2": "Figure 2   - interval tree and kill pattern",
+    "f3": "Figure 3   - recursive box structure",
+    "f4": "Figure 4   - trapezium phase accounting",
+    "f5": "Figure 5   - H2 box census",
+    "f6": "Figure 6   - zigzag dependency path",
+    "a1": "Ablation   - host bandwidth (the log n assumption)",
+    "a2": "Ablation   - the constant c of killing/labelling",
+    "a3": "Ablation   - dataflow vs database redundancy",
+    "a4": "Ablation   - multicast boundary streams",
+    "x1": "Section 7  - open questions: delay variance, rings",
+    "x2": "Section 5  - Theorem 8 in D dimensions",
+    "x3": "Calibration - measured constants of the bounds",
+    "x4": "Planner    - block-factor recommendation vs measured",
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiment index (paper item -> `repro run <id>`):")
+    for exp_id in list_experiments():
+        print(f"  {exp_id:<4} {_TITLES.get(exp_id, '')}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        run = get_experiment(args.id)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    result = run(quick=not args.full)
+    result.print()
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    out = pathlib.Path(args.out) if args.out else None
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+    for exp_id in list_experiments():
+        result = get_experiment(exp_id)(quick=not args.full)
+        result.print()
+        if out:
+            (out / f"{exp_id}.txt").write_text(result.render() + "\n")
+            if args.json:
+                (out / f"{exp_id}.json").write_text(result.to_json() + "\n")
+    if out:
+        print(f"\nwrote {len(list_experiments())} result files to {out}/")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.assignment import assign_databases
+    from repro.core.executor import GreedyExecutor
+    from repro.core.killing import kill_and_label
+    from repro.machine.host import HostArray
+    from repro.machine.programs import get_program
+    from repro.netsim.trace import Trace
+    from repro.topology.presets import get_preset
+
+    host = get_preset(args.preset)
+    if not isinstance(host, HostArray):
+        print(f"preset {args.preset!r} is a graph host; trace needs an array", file=sys.stderr)
+        return 2
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, block=args.block)
+    trace = Trace()
+    program = get_program(args.program)
+    GreedyExecutor(host, assignment, program, args.steps, trace=trace).run()
+    print(f"host: {host.name}  d_ave={host.d_ave:.2f}  d_max={host.d_max}")
+    print(f"guest: {assignment.m} columns, block beta={args.block}, {args.steps} steps")
+    for k, v in trace.summary().items():
+        print(f"  {k}: {v}")
+    print("\nspace-time diagram (x: host position, y: time):")
+    print(trace.spacetime_ascii(host.n, width=72, height=18))
+    print(f"\nslowdown: {trace.makespan / args.steps:.1f}")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print(
+        f"repro {__version__} - reproduction of Andrews, Leighton, Metaxas "
+        "& Zhang,\n'Improved Methods for Hiding Latency in High Bandwidth "
+        "Networks' (SPAA 1996).\n\n"
+        "Core: algorithm OVERLAP - automatic latency hiding for the\n"
+        "database model via interval-tree killing/labelling and redundant\n"
+        "overlapped database replicas, on a from-scratch discrete-event\n"
+        "network simulator.  See DESIGN.md and EXPERIMENTS.md."
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for the SPAA'96 latency-hiding paper",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the experiment index").set_defaults(
+        func=_cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("id", help="experiment id (e1..e10, f1..f6)")
+    p_run.add_argument(
+        "--full", action="store_true", help="bigger sweeps (slower, sharper shapes)"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--full", action="store_true")
+    p_all.add_argument("--out", help="directory for per-experiment text files")
+    p_all.add_argument(
+        "--json", action="store_true", help="also write <id>.json next to each .txt"
+    )
+    p_all.set_defaults(func=_cmd_all)
+
+    p_trace = sub.add_parser(
+        "trace", help="run OVERLAP on a preset host and draw the space-time diagram"
+    )
+    p_trace.add_argument(
+        "--preset",
+        default="dialup-outlier",
+        help="host preset (campus, wan, dialup-outlier, mixed-now)",
+    )
+    p_trace.add_argument("--block", type=int, default=8, help="block factor beta")
+    p_trace.add_argument("--steps", type=int, default=24, help="guest steps")
+    p_trace.add_argument("--program", default="counter", help="guest program")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    sub.add_parser("info", help="package summary").set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

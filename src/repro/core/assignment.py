@@ -1,0 +1,154 @@
+"""The recursive overlapped database assignment (Section 3.2).
+
+OVERLAP assigns databases ``b_1 .. b_{n'}`` to the live processors so
+that (a) every database has at least one copy, (b) each live processor
+holds a contiguous range of columns with load O(1) (times the block
+factor ``beta`` for the work-efficient variant of Section 3.3), and
+(c) sibling intervals *overlap* by ``m_{k+1}`` databases — the
+redundant computation that hides latency.
+
+Implementation note: the paper's labels are integers because it assumes
+exact powers of two; here labels are real numbers, so the assignment
+distributes *real* database intervals down the tree (child splits
+recreate the paper's ``m_{k+1}`` overlap exactly) and integer columns
+are read off at the leaves: a leaf with real interval ``[a, b)`` owns
+every column whose unit segment intersects ``[a, b)``.  This yields
+load <= 2 base columns per processor (instead of the paper's exactly 1)
+and guarantees full coverage with overlap at every split boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.killing import KillingResult
+
+
+@dataclass
+class Assignment:
+    """A contiguous column range per host position.
+
+    ``ranges[p]`` is ``(lo, hi)`` inclusive in 1-indexed guest columns,
+    or ``None`` for positions with no databases (dead processors, or
+    relays).  ``m`` is the guest size (number of columns).
+    """
+
+    ranges: list[tuple[int, int] | None]
+    m: int
+    block: int = 1
+    _owners: dict[int, list[int]] | None = field(default=None, repr=False)
+
+    @property
+    def n(self) -> int:
+        """Number of host positions."""
+        return len(self.ranges)
+
+    def load(self) -> int:
+        """Maximum number of columns held by any processor."""
+        return max(
+            (hi - lo + 1 for r in self.ranges if r is not None for lo, hi in [r]),
+            default=0,
+        )
+
+    def total_copies(self) -> int:
+        """Sum of all column copies (>= m; the excess is redundancy)."""
+        return sum(hi - lo + 1 for r in self.ranges if r is not None for lo, hi in [r])
+
+    def redundancy(self) -> float:
+        """Average copies per column."""
+        return self.total_copies() / self.m if self.m else 0.0
+
+    def owners(self) -> dict[int, list[int]]:
+        """Map column -> sorted list of owning positions (cached)."""
+        if self._owners is None:
+            owners: dict[int, list[int]] = {}
+            for p, r in enumerate(self.ranges):
+                if r is None:
+                    continue
+                lo, hi = r
+                for c in range(lo, hi + 1):
+                    owners.setdefault(c, []).append(p)
+            self._owners = owners
+        return self._owners
+
+    def validate(self) -> None:
+        """Check coverage (every column 1..m owned) and sane ranges."""
+        for p, r in enumerate(self.ranges):
+            if r is None:
+                continue
+            lo, hi = r
+            if not (1 <= lo <= hi <= self.m):
+                raise ValueError(f"position {p} has bad range {r} for m={self.m}")
+        owners = self.owners()
+        missing = [c for c in range(1, self.m + 1) if c not in owners]
+        if missing:
+            raise ValueError(
+                f"columns with no owner: {missing[:10]}{'...' if len(missing) > 10 else ''}"
+            )
+
+    def used_positions(self) -> list[int]:
+        """Positions that hold at least one column."""
+        return [p for p, r in enumerate(self.ranges) if r is not None]
+
+
+def assign_databases(killing: KillingResult, block: int = 1) -> Assignment:
+    """Distribute databases down the labelled tree.
+
+    ``block`` is the work-efficiency factor ``beta`` of Section 3.3:
+    every base column is expanded into ``beta`` consecutive guest
+    columns, so the guest has ``n' * beta`` processors and the load is
+    ``O(beta)``.
+    """
+    if block < 1:
+        raise ValueError("block factor must be >= 1")
+    tree, params = killing.tree, killing.params
+    if tree.root.removed or killing.n_prime < 1:
+        raise ValueError(
+            "killing left no usable processors "
+            f"(root label {killing.root_label:.3f}); host too small or c too large"
+        )
+
+    n_prime = killing.n_prime
+    ranges: list[tuple[int, int] | None] = [None] * killing.host.n
+
+    # Distribute real intervals [start, start + width) top-down.
+    tree.root.db_start = 0.0
+    tree.root.db_width = float(n_prime)
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.removed:
+            continue
+        start, width = node.db_start, node.db_width
+        if node.is_leaf:
+            lo = int(math.floor(start)) + 1
+            hi = int(math.ceil(start + width))
+            lo = max(1, min(lo, n_prime))
+            hi = max(1, min(hi, n_prime))
+            ranges[node.lo] = ((lo - 1) * block + 1, hi * block)
+            continue
+        kids = node.live_children()
+        if len(kids) == 1:
+            # Paper: the single child inherits the full range.
+            kids[0].db_start = start
+            kids[0].db_width = width
+            stack.append(kids[0])
+            continue
+        left, right = kids
+        x1, x2 = left.label3, right.label3
+        # Children take their own labels (clipped to the parent width,
+        # which only binds at the root where the label was floored).
+        # Since x1 + x2 = label3 + m_{k+1} >= width + m_{k+1}, the two
+        # child intervals overlap by ~m_{k+1} and jointly cover the
+        # parent interval — the paper's redundant-assignment rule.
+        left.db_start = start
+        left.db_width = min(x1, width)
+        right.db_width = min(x2, width)
+        right.db_start = start + width - right.db_width
+        stack.append(left)
+        stack.append(right)
+
+    asg = Assignment(ranges, n_prime * block, block)
+    asg.validate()
+    return asg

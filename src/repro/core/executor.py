@@ -1,0 +1,374 @@
+"""Greedy event-driven executor for contiguous column assignments.
+
+This is the engine that actually *runs* a database-model simulation on
+a host array.  It takes any assignment mapping host positions to
+contiguous guest-column ranges (OVERLAP's, Theorem 4's blocks, a
+baseline's) and executes greedily:
+
+* every owner of column ``i`` computes **all** pebbles ``(i, 1..T)`` in
+  order (the database forces the order — the paper's redundant
+  computation);
+* a processor computes one pebble per step, always picking the ready
+  pebble with the smallest ``(t, i)``;
+* each processor that needs an external boundary column subscribes to
+  its nearest owner, which pushes every pebble of that column as it is
+  computed, hop by hop over the pipelined links.
+
+Greedy execution is a feasible realisation of the paper's explicit
+schedule (Theorem 1 exhibits *one* feasible timing; eager execution
+with the same assignment can only complete each pebble no later), so
+the measured makespan validates the upper-bound theorems, and the
+executor doubles as the baseline engine when given redundancy-free
+assignments.
+
+The implementation follows the hot-loop rules of the HPC guides: plain
+lists and dicts bound to locals, integer event tags, a single heap, no
+per-pebble object allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.assignment import Assignment
+from repro.machine.database import Database
+from repro.machine.host import HostArray
+from repro.machine.mixing import fold_s
+from repro.machine.pebbles import (
+    BOUNDARY_LEFT,
+    BOUNDARY_RIGHT,
+    boundary_value,
+    initial_value,
+)
+from repro.machine.programs import Program
+from repro.netsim.events import EventQueue
+from repro.netsim.stats import SimStats
+
+_DONE = 0
+_MSG = 1
+
+
+class SimulationDeadlock(RuntimeError):
+    """The event queue drained before every pebble was computed."""
+
+
+@dataclass
+class ExecResult:
+    """Everything a run produces.
+
+    ``value_digests[(p, col)]`` folds the column's pebble values in
+    ``t`` order; ``replicas[(p, col)]`` is the final database replica.
+    Both are compared against the reference run by
+    :mod:`repro.core.verify`.
+    """
+
+    stats: SimStats
+    steps: int
+    assignment: Assignment
+    value_digests: dict[tuple[int, int], int] = field(default_factory=dict)
+    replicas: dict[tuple[int, int], Database] = field(default_factory=dict)
+
+    def slowdown(self) -> float:
+        """Host steps per guest step."""
+        return self.stats.slowdown(self.steps)
+
+
+class GreedyExecutor:
+    """One-shot executor; build, :meth:`run`, read the result."""
+
+    def __init__(
+        self,
+        host: HostArray,
+        assignment: Assignment,
+        program: Program,
+        steps: int,
+        bandwidth: int | None = None,
+        dep_map: dict[int, tuple[int, int]] | None = None,
+        col_label=None,
+        trace=None,
+        multicast: bool = False,
+        tie_seed: int | None = None,
+    ) -> None:
+        """Build an executor.
+
+        ``dep_map`` generalises the dependency structure: it maps each
+        column to its two *lateral source columns* (default: ``c-1``
+        and ``c+1`` with virtual boundary columns 0 / m+1).  Ring
+        guests use it to wire fold-embedded neighbours
+        (:mod:`repro.core.ring`).  With a ``dep_map`` there are no
+        virtual boundaries — every source must be a real column.
+
+        ``col_label`` relabels columns for the *program* (initial
+        values, database identity, the ``i`` passed to ``compute``):
+        ring simulation places ring node ``k`` at some array column
+        ``j``, and the guest semantics must follow ``k``, not ``j``.
+        """
+        if assignment.n != host.n:
+            raise ValueError(
+                f"assignment is for {assignment.n} positions, host has {host.n}"
+            )
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        assignment.validate()
+        self.host = host
+        self.assignment = assignment
+        self.program = program
+        self.T = steps
+        self.fabric = host.fabric(bandwidth)
+        self.m = assignment.m
+        self.dep_map = dep_map
+        self.col_label = col_label or (lambda c: c)
+        self.trace = trace
+        self.multicast = multicast
+        # Optional scheduling jitter: permute the within-row column
+        # preference.  Correctness must not depend on scheduling order
+        # (any work-conserving order simulates the guest exactly);
+        # tests sweep seeds to prove it.  None = natural column order.
+        if tie_seed is None:
+            self._rank = None
+        else:
+            import numpy as _np
+
+            perm = _np.random.default_rng(tie_seed).permutation(self.m + 1)
+            self._rank = {c: int(perm[c]) for c in range(1, self.m + 1)}
+        if dep_map is not None:
+            for c in range(1, self.m + 1):
+                if c not in dep_map:
+                    raise ValueError(f"dep_map missing column {c}")
+                for src in dep_map[c]:
+                    if not 1 <= src <= self.m:
+                        raise ValueError(
+                            f"dep_map[{c}] source {src} outside 1..{self.m}"
+                        )
+        self._build_state()
+
+    def _deps(self, c: int) -> tuple[int, int]:
+        """Lateral source columns of ``c`` (left-like, right-like)."""
+        if self.dep_map is None:
+            return (c - 1, c + 1)
+        return self.dep_map[c]
+
+    def _build_state(self) -> None:
+        T, m = self.T, self.m
+        prog = self.program
+        self.used = self.assignment.used_positions()
+        self.own_range: dict[int, tuple[int, int]] = {}
+        self.vals: dict[int, dict[int, list]] = {}
+        self.done: dict[int, dict[int, int]] = {}
+        self.dbs: dict[int, dict[int, Database]] = {}
+        self.ext: dict[int, dict[int, list]] = {}  # col -> [t_known, values]
+        self.busy: dict[int, bool] = {}
+        self.subscribers: dict[tuple[int, int], list[int]] = {}
+
+        owners = self.assignment.owners()
+        label = self.col_label
+        for p in self.used:
+            lo, hi = self.assignment.ranges[p]
+            self.own_range[p] = (lo, hi)
+            self.busy[p] = False
+            pv: dict[int, list] = {}
+            pd: dict[int, int] = {}
+            pdb: dict[int, Database] = {}
+            for c in range(lo, hi + 1):
+                col_vals = [0] * (T + 1)
+                col_vals[0] = initial_value(label(c))
+                pv[c] = col_vals
+                pd[c] = 0
+                pdb[c] = Database(label(c), prog.init_state(label(c)))
+            self.vals[p] = pv
+            self.done[p] = pd
+            self.dbs[p] = pdb
+            needed = sorted(
+                {
+                    src
+                    for c in range(lo, hi + 1)
+                    for src in self._deps(c)
+                    if 1 <= src <= m and not (lo <= src <= hi)
+                }
+            )
+            pext: dict[int, list] = {}
+            for c in needed:
+                ext_vals = [0] * (T + 1)
+                ext_vals[0] = initial_value(label(c))
+                pext[c] = [0, ext_vals]
+                candidates = owners[c]
+                q = min(
+                    candidates,
+                    key=lambda q: (self.host.distance(p, q), abs(q - p), q),
+                )
+                self.subscribers.setdefault((q, c), []).append(p)
+            self.ext[p] = pext
+
+    # -- knowledge ------------------------------------------------------
+    def _value(self, p: int, c: int, t: int) -> int:
+        if c == 0:
+            return boundary_value(BOUNDARY_LEFT, t)
+        if c == self.m + 1:
+            return boundary_value(BOUNDARY_RIGHT, t)
+        pv = self.vals[p]
+        if c in pv:
+            return pv[c][t]
+        return self.ext[p][c][1][t]
+
+    def _known(self, p: int, c: int, t: int) -> bool:
+        if c <= 0 or c >= self.m + 1:
+            return True
+        pd = self.done[p]
+        if c in pd:
+            return pd[c] >= t
+        return self.ext[p][c][0] >= t
+
+    # -- engine ----------------------------------------------------------
+    def _try_start(self, p: int, now: int, queue: EventQueue) -> None:
+        if self.busy[p]:
+            return
+        # Hot loop (profiled at ~75% of executor time): the _known/_deps
+        # helpers are inlined and locals bound once per call.
+        T = self.T
+        m = self.m
+        pd = self.done[p]
+        ext = self.ext[p]
+        rank = self._rank
+        dep_map = self.dep_map
+        best_t = T + 1
+        best_c = -1
+        best_r = -1
+        for c, dt in pd.items():
+            t = dt + 1
+            if t > T:
+                continue
+            r = rank[c] if rank is not None else c
+            if t > best_t or (t == best_t and r >= best_r):
+                continue
+            if dep_map is None:
+                src_l = c - 1
+                src_r = c + 1
+            else:
+                src_l, src_r = dep_map[c]
+            tt = dt  # == t - 1
+            if 1 <= src_l <= m:
+                have = pd.get(src_l)
+                if (have if have is not None else ext[src_l][0]) < tt:
+                    continue
+            if 1 <= src_r <= m:
+                have = pd.get(src_r)
+                if (have if have is not None else ext[src_r][0]) < tt:
+                    continue
+            best_t, best_c, best_r = t, c, r
+        if best_c < 0:
+            return
+        t, c = best_t, best_c
+        src_l, src_r = self._deps(c)
+        left = self._value(p, src_l, t - 1)
+        up = self.vals[p][c][t - 1]
+        right = self._value(p, src_r, t - 1)
+        db = self.dbs[p][c]
+        value, update = self.program.compute(
+            self.col_label(c), t, db.state, left, up, right
+        )
+        db.apply(self.program, update)
+        self.vals[p][c][t] = value
+        self.busy[p] = True
+        queue.push(now + 1, _DONE, (p, c, t))
+
+    def run(self) -> ExecResult:
+        stats = SimStats()
+        queue = EventQueue()
+        T = self.T
+        makespan = 0
+        remaining = sum(1 for p in self.used for _ in self.done[p]) * T
+
+        if T == 0 or remaining == 0:
+            return self._finish(stats, 0)
+
+        for p in self.used:
+            self._try_start(p, 0, queue)
+
+        fabric_hop = self.fabric.hop
+        while queue:
+            ev = queue.pop()
+            now = ev.time
+            if ev.kind == _DONE:
+                p, c, t = ev.data
+                self.busy[p] = False
+                self.done[p][c] = t
+                stats.pebbles += 1
+                remaining -= 1
+                if self.trace is not None:
+                    self.trace.record(now, p, c, t)
+                if now > makespan:
+                    makespan = now
+                subs = self.subscribers.get((p, c))
+                if subs:
+                    value = self.vals[p][c][t]
+                    if self.multicast:
+                        # One stream per direction; intermediate
+                        # subscribers peel their copy off as it passes.
+                        left = tuple(sorted((d for d in subs if d < p), reverse=True))
+                        right = tuple(sorted(d for d in subs if d > p))
+                        for targets in (left, right):
+                            if not targets:
+                                continue
+                            stats.messages += 1
+                            step = 1 if targets[0] > p else -1
+                            arr = fabric_hop(p, step, now)
+                            queue.push(arr, _MSG, (p + step, targets, c, t, value))
+                    else:
+                        for dst in subs:
+                            stats.messages += 1
+                            step = 1 if dst > p else -1
+                            arr = fabric_hop(p, step, now)
+                            queue.push(arr, _MSG, (p + step, (dst,), c, t, value))
+                self._try_start(p, now, queue)
+            else:  # _MSG
+                pos, targets, c, t, value = ev.data
+                if pos == targets[0]:
+                    e = self.ext[pos][c]
+                    if t != e[0] + 1:  # pragma: no cover - invariant guard
+                        raise AssertionError(
+                            f"out-of-order delivery of ({c},{t}) at {pos}: "
+                            f"have {e[0]}"
+                        )
+                    e[1][t] = value
+                    e[0] = t
+                    targets = targets[1:]
+                    self._try_start(pos, now, queue)
+                if targets:
+                    step = 1 if targets[0] > pos else -1
+                    arr = fabric_hop(pos, step, now)
+                    queue.push(arr, _MSG, (pos + step, targets, c, t, value))
+
+        if remaining:
+            stuck = [
+                (p, c, self.done[p][c])
+                for p in self.used
+                for c in self.done[p]
+                if self.done[p][c] < T
+            ]
+            raise SimulationDeadlock(
+                f"{remaining} pebbles never computed; first stuck: {stuck[:5]}"
+            )
+        return self._finish(stats, makespan)
+
+    def _finish(self, stats: SimStats, makespan: int) -> ExecResult:
+        stats.makespan = makespan
+        stats.pebble_hops = self.fabric.total_injections
+        stats.procs_used = len(self.used)
+        stats.redundant = stats.pebbles - self.m * self.T
+        result = ExecResult(stats, self.T, self.assignment)
+        for p in self.used:
+            for c, col_vals in self.vals[p].items():
+                result.value_digests[(p, c)] = fold_s(col_vals[1:])
+                result.replicas[(p, c)] = self.dbs[p][c]
+        return result
+
+
+def run_assignment(
+    host: HostArray,
+    assignment: Assignment,
+    program: Program,
+    steps: int,
+    bandwidth: int | None = None,
+) -> ExecResult:
+    """Convenience wrapper: build an executor and run it."""
+    return GreedyExecutor(host, assignment, program, steps, bandwidth).run()

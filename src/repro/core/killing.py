@@ -1,0 +1,283 @@
+"""Stages 1-3 of algorithm OVERLAP: killing processors and labelling
+the interval tree (Section 3.1, Lemmas 1-4).
+
+Quantities, for an ``n``-processor host of average link delay
+``d_ave`` and a constant ``c > 2``:
+
+* killing delay   ``D_k = (n / 2^k) * d_ave * c * lg n``
+* overlap size    ``m_k = n / (c * 2^k * lg n)``   (a *real* number —
+  integer box heights are taken later by the scheduler)
+* ``k_max = floor(log2(n / (c lg n)))`` — deepest level with
+  ``m_k >= 1``.
+
+Stage 1 kills every processor contained in *any* depth-``k`` interval
+whose total internal delay exceeds ``D_k`` (too much delay around it).
+Stage 2 labels the tree bottom-up (two children: ``x1 + x2 - m_k``) and
+kills intervals whose label is below ``2 m_k`` (too few live
+processors).  Stage 3 relabels with the smaller penalty ``m_{k+1}``;
+the stage-3 labels measure each interval's *computing power* — how many
+guest columns it can simulate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tree import IntervalNode, IntervalTree
+from repro.machine.host import HostArray
+
+
+@dataclass(frozen=True)
+class OverlapParams:
+    """The paper's per-depth constants for one host instance."""
+
+    n: int
+    c: float
+    d_ave: float
+    lg: float  # log2(n), floored at 1
+
+    @classmethod
+    def for_host(cls, host: HostArray, c: float = 4.0) -> "OverlapParams":
+        if c <= 2:
+            raise ValueError(f"the constant c must exceed 2 (paper), got {c}")
+        n = host.n
+        lg = max(1.0, math.log2(n))
+        return cls(n=n, c=c, d_ave=max(1.0, host.d_ave), lg=lg)
+
+    def D(self, k: int) -> float:
+        """Killing delay for depth ``k``."""
+        return (self.n / 2**k) * self.d_ave * self.c * self.lg
+
+    def m(self, k: int) -> float:
+        """Overlap size for depth ``k`` (real-valued)."""
+        return self.n / (self.c * 2**k * self.lg)
+
+    @property
+    def k_max(self) -> int:
+        """Deepest level with ``m_k >= 1`` (the paper's
+        ``log n - log log n - log c``), at least 0."""
+        k = int(math.floor(math.log2(max(1.0, self.n / (self.c * self.lg)))))
+        return max(0, k)
+
+    def m_int(self, k: int) -> int:
+        """Integer box height at depth ``k`` (min 1) for the scheduler."""
+        return max(1, int(math.floor(self.m(k))))
+
+
+@dataclass
+class KillingResult:
+    """Output of the three stages.
+
+    Attributes
+    ----------
+    host, params, tree:
+        Inputs and the annotated interval tree.
+    live:
+        Boolean per host position.
+    killed_stage1 / killed_stage2:
+        Position sets killed by each stage.
+    """
+
+    host: HostArray
+    params: OverlapParams
+    tree: IntervalTree
+    live: np.ndarray
+    killed_stage1: set[int] = field(default_factory=set)
+    killed_stage2: set[int] = field(default_factory=set)
+
+    @property
+    def n_live(self) -> int:
+        """Number of surviving processors."""
+        return int(self.live.sum())
+
+    @property
+    def root_label(self) -> float:
+        """Stage-3 label of the root — the usable guest size ``n'``."""
+        if self.tree.root.removed or self.tree.root.label3 is None:
+            return 0.0
+        return self.tree.root.label3
+
+    @property
+    def n_prime(self) -> int:
+        """Integer guest size the assignment will realise."""
+        return int(math.floor(self.root_label))
+
+    def killed_fraction(self) -> float:
+        """Fraction of host processors killed by stages 1+2."""
+        return 1.0 - self.n_live / self.host.n
+
+    def live_positions(self) -> list[int]:
+        """Sorted positions of live processors."""
+        return [int(p) for p in np.flatnonzero(self.live)]
+
+
+def kill_and_label(
+    host: HostArray, c: float = 4.0, forced_dead: set[int] | None = None
+) -> KillingResult:
+    """Run stages 1-3 on ``host`` and return the annotated result.
+
+    ``forced_dead`` marks processors failed *before* the killing stages
+    run (they still relay messages — their links exist — but hold no
+    databases).  OVERLAP's labelling then routes computation around
+    them exactly as it routes around latency-killed processors, which
+    is the fault-reconfiguration connection of the paper's related
+    work ([5], [9]).  With failures the Lemma 1/2 bounds weaken by the
+    failed mass, so callers doing lemma checks should pass none.
+    """
+    params = OverlapParams.for_host(host, c)
+    tree = IntervalTree(host.n)
+    live = np.ones(host.n, dtype=bool)
+    if forced_dead:
+        for p in forced_dead:
+            if not 0 <= p < host.n:
+                raise ValueError(f"failed position {p} outside 0..{host.n - 1}")
+            live[p] = False
+    result = KillingResult(host, params, tree, live)
+
+    _stage1(result)
+    _prune_empty(result)
+    _stage2_label(result)
+    _stage2_kill(result)
+    _prune_empty(result)
+    _stage3_relabel(result)
+    return result
+
+
+def _stage1(res: KillingResult) -> None:
+    """Kill processors inside any interval whose delay exceeds D_k."""
+    for k in range(res.tree.height + 1):
+        Dk = res.params.D(k)
+        for node in res.tree.nodes_at_depth(k):
+            if node.size >= 2 and res.host.interval_delay(node.lo, node.hi) > Dk:
+                for p in range(node.lo, node.hi + 1):
+                    if res.live[p]:
+                        res.live[p] = False
+                        res.killed_stage1.add(p)
+
+
+def _prune_empty(res: KillingResult) -> None:
+    """Remove nodes whose intervals contain no live processor."""
+    # Post-order: a node is empty iff all its positions are dead.
+    for node in _post_order(res.tree.root):
+        if node.is_leaf:
+            node.removed = not res.live[node.lo]
+        else:
+            node.removed = all(ch.removed for ch in node.children)
+            if not node.removed and not any(
+                res.live[p] for p in range(node.lo, node.hi + 1)
+            ):  # pragma: no cover - defensive; children flags cover this
+                node.removed = True
+
+
+def _stage2_label(res: KillingResult) -> None:
+    """Bottom-up labels: leaf 1; two children ``x1 + x2 - m_k``."""
+    for node in _post_order(res.tree.root):
+        if node.removed:
+            node.label2 = None
+            continue
+        if node.is_leaf:
+            node.label2 = 1.0
+            continue
+        kids = node.live_children()
+        if len(kids) == 2:
+            node.label2 = kids[0].label2 + kids[1].label2 - res.params.m(node.depth)
+        elif len(kids) == 1:
+            node.label2 = kids[0].label2
+        else:  # pragma: no cover - removed nodes skipped above
+            node.label2 = None
+
+
+def _stage2_kill(res: KillingResult) -> None:
+    """Kill intervals whose stage-2 label is below ``2 m_k``.
+
+    Processed top-down with the *original* stage-2 labels, exactly as
+    the paper does (labels are not recomputed between kills).
+    """
+    stack = [res.tree.root]
+    while stack:
+        node = stack.pop()
+        if node.removed:
+            continue
+        if node.label2 is not None and node.label2 < 2 * res.params.m(node.depth):
+            for p in range(node.lo, node.hi + 1):
+                if res.live[p]:
+                    res.live[p] = False
+                    res.killed_stage2.add(p)
+            _mark_removed(node)
+            continue
+        stack.extend(node.children)
+
+
+def _stage3_relabel(res: KillingResult) -> None:
+    """Relabel remaining nodes with the ``m_{k+1}`` penalty."""
+    for node in _post_order(res.tree.root):
+        if node.removed:
+            node.label3 = None
+            continue
+        if node.is_leaf:
+            node.label3 = 1.0
+            continue
+        kids = node.live_children()
+        if len(kids) == 2:
+            node.label3 = (
+                kids[0].label3 + kids[1].label3 - res.params.m(node.depth + 1)
+            )
+        elif len(kids) == 1:
+            node.label3 = kids[0].label3
+        else:  # pragma: no cover
+            node.label3 = None
+
+
+def _mark_removed(node: IntervalNode) -> None:
+    for sub in node:
+        sub.removed = True
+
+
+def _post_order(root: IntervalNode):
+    stack: list[tuple[IntervalNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        stack.append((node, True))
+        for ch in node.children:
+            stack.append((ch, False))
+
+
+# ---------------------------------------------------------------------------
+# Lemma checks (used by tests and the E10 bench)
+# ---------------------------------------------------------------------------
+
+
+def lemma1_bound(res: KillingResult) -> tuple[int, float]:
+    """(stage-1 kills, paper bound n/c)."""
+    return len(res.killed_stage1), res.params.n / res.params.c
+
+
+def lemma2_bound(res: KillingResult) -> tuple[float, float]:
+    """(stage-2 root label, paper bound (1 - 2/c) n).
+
+    The paper's bound assumes every depth contributes ``2^k m_k``
+    penalty mass; with real-valued ``m_k`` this is exact.
+    """
+    label = res.tree.root.label2 if not res.tree.root.removed else 0.0
+    bound = (1 - 2 / res.params.c) * res.params.n
+    return (label if label is not None else 0.0), bound
+
+
+def lemma4_checks(res: KillingResult) -> list[tuple[int, float, float]]:
+    """For every remaining node: (depth, stage-3 label, ``2 m_k``).
+
+    Lemma 4 asserts label >= 2 m_k for every remaining depth-k node
+    (k < log n); the root must additionally reach ``(1 - 2/c) n``.
+    """
+    out = []
+    for node in res.tree.all_nodes():
+        if node.removed or node.label3 is None:
+            continue
+        out.append((node.depth, node.label3, 2 * res.params.m(node.depth)))
+    return out

@@ -1,0 +1,324 @@
+"""Section 5: simulating an ``m x m`` guest array on a linear host
+(Theorems 7 and 8).
+
+The guest is sliced into column blocks of width ``g = ceil(m / n0)``,
+one block per processor of the uniform-delay intermediate array ``H0``.
+Processors work in *batches* of ``tau = g`` guest steps:
+
+* at batch start every processor knows, for its *slab* (its own block
+  widened by ``tau`` halo columns per side), all values and database
+  states at the current guest step — databases for halo columns are
+  redundant copies, made before the simulation starts and kept in sync
+  by recomputation plus update streams (never by shipping databases);
+* during the batch it computes ``tau`` steps locally on a region that
+  shrinks by one column per side per step (it lacks the data to keep
+  the halo's outer edge fresh) — Theorem 7's
+  ``(3 m / n0)(m / n0) m`` redundant-pebble count;
+* after the batch, neighbours exchange exactly the triangular wedge of
+  pebbles (values + updates) the shrinkage missed, restoring the slab
+  invariant for the next batch.
+
+Case 1 of Theorem 7 (``d_ave < n0``, one column per processor) is the
+degenerate ``g = tau = 1`` instance of the same loop.
+
+The executor computes **real pebble values** (verified bit-for-bit
+against :class:`~repro.machine.guest2d.Guest2D`'s reference run) while
+accounting time analytically per phase: compute steps = pebbles
+computed by the busiest processor; exchange steps = pipelined transit
+of the exchanged wedge (``d + ceil(P / bw) - 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.guest2d import (
+    Guest2D,
+    Program2D,
+    ReferenceRun2D,
+    StencilCounterProgram,
+)
+from repro.machine.mixing import mix2_v, tag_s
+from repro.netsim.links import batch_transit_time
+
+_FRAME_SEED = tag_s(0xF7A)
+
+
+def _frame_col(r_count: int, c: int, t: int) -> np.ndarray:
+    """Vectorised frame values for rows ``1..r_count`` of frame column
+    ``c`` at step ``t`` (matches :func:`frame_value`)."""
+    rows = np.arange(1, r_count + 1, dtype=np.uint64)
+    base = mix2_v(np.broadcast_to(np.uint64(_FRAME_SEED), rows.shape), rows)
+    base = mix2_v(base, np.broadcast_to(np.uint64(c), rows.shape))
+    return mix2_v(base, np.broadcast_to(np.uint64(t), rows.shape))
+
+
+def _frame_row(r: int, cols: np.ndarray, t: int) -> np.ndarray:
+    """Vectorised frame values for frame row ``r`` at columns ``cols``."""
+    cols64 = cols.astype(np.uint64)
+    base = mix2_v(np.broadcast_to(np.uint64(_FRAME_SEED), cols64.shape),
+                  np.broadcast_to(np.uint64(r), cols64.shape))
+    base = mix2_v(base, cols64)
+    return mix2_v(base, np.broadcast_to(np.uint64(t), cols64.shape))
+
+
+class _Proc:
+    """Local state of one host processor (a column-block owner)."""
+
+    def __init__(self, m: int, lo: int, hi: int, tau: int, prog: Program2D):
+        self.m, self.lo, self.hi, self.tau = m, lo, hi, tau
+        self.program = prog
+        self.slo = max(1, lo - tau)
+        self.shi = min(m, hi + tau)
+        self.width = self.shi - self.slo + 1
+        cols = np.arange(self.slo, self.shi + 1)
+        self.cols = cols
+        # V rows: 0 and m+1 are the guest frame; 1..m the interior.
+        self.V = np.zeros((m + 2, self.width), dtype=np.uint64)
+        rr = np.arange(1, m + 1, dtype=np.uint64)[:, None]
+        cc = cols.astype(np.uint64)[None, :]
+        seed_init = np.uint64(tag_s(0x1418))
+        self.V[1 : m + 1] = mix2_v(
+            mix2_v(np.broadcast_to(seed_init, (m, self.width)),
+                   np.broadcast_to(rr, (m, self.width))),
+            np.broadcast_to(cc, (m, self.width)),
+        )
+        full = prog.init_state_grid(m)
+        self.S = full[:, self.slo - 1 : self.shi].copy()
+        self.ver = np.zeros(self.width, dtype=np.int64)
+        # Update digests (kept for own columns; halo entries unused).
+        self.D = np.empty((m, self.width), dtype=np.uint64)
+        seed_db = np.uint64(tag_s(0xDB2))
+        self.D[:] = mix2_v(
+            mix2_v(np.broadcast_to(seed_db, (m, self.width)),
+                   np.broadcast_to(rr, (m, self.width))),
+            np.broadcast_to(cc, (m, self.width)),
+        )
+        # Per-batch log of own-column (values, updates) per local step.
+        self.log: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+    def li(self, c: int) -> int:
+        """Slab-local index of global column ``c``."""
+        return c - self.slo
+
+    def compute_batch(self, t0: int, tau_b: int) -> int:
+        """Run ``tau_b`` local steps starting after guest step ``t0``;
+        return pebbles computed.  Logs own-column rows for exchange."""
+        m = self.m
+        pebbles = 0
+        self.log = {c: [] for c in range(self.lo, self.hi + 1)}
+        for s in range(1, tau_b + 1):
+            t = t0 + s
+            a = max(1, self.lo - (tau_b - s))
+            b = min(m, self.hi + (tau_b - s))
+            a = max(a, self.slo)
+            b = min(b, self.shi)
+            la, lb = self.li(a), self.li(b)
+            w = lb - la + 1
+            # Previous-step frame rows for the region's columns.
+            region_cols = self.cols[la : lb + 1]
+            self.V[0, la : lb + 1] = _frame_row(0, region_cols, t - 1)
+            self.V[m + 1, la : lb + 1] = _frame_row(m + 1, region_cols, t - 1)
+            north = self.V[0:m, la : lb + 1]
+            south = self.V[2 : m + 2, la : lb + 1]
+            up = self.V[1 : m + 1, la : lb + 1]
+            if a == 1:
+                west = np.empty((m, w), dtype=np.uint64)
+                if w > 1:
+                    west[:, 1:] = self.V[1 : m + 1, la : lb]
+                west[:, 0] = _frame_col(m, 0, t - 1)
+            else:
+                west = self.V[1 : m + 1, la - 1 : lb]
+            if b == m:
+                east = np.empty((m, w), dtype=np.uint64)
+                if w > 1:
+                    east[:, :-1] = self.V[1 : m + 1, la + 1 : lb + 1]
+                east[:, -1] = _frame_col(m, m + 1, t - 1)
+            else:
+                east = self.V[1 : m + 1, la + 1 : lb + 2]
+            values, updates = self.program.compute_grid(
+                t, self.S[:, la : lb + 1], north, south, west, east, up
+            )
+            self.V[1 : m + 1, la : lb + 1] = values
+            self.S[:, la : lb + 1] = self.program.apply_grid(
+                self.S[:, la : lb + 1], updates
+            )
+            self.D[:, la : lb + 1] = mix2_v(self.D[:, la : lb + 1], updates)
+            self.ver[la : lb + 1] += 1
+            pebbles += m * w
+            for c in range(max(a, self.lo), min(b, self.hi) + 1):
+                lc = self.li(c)
+                self.log[c].append((values[:, lc - la].copy(), updates[:, lc - la].copy()))
+        return pebbles
+
+    def resync(self, c: int, t_end: int, rows: list[tuple[np.ndarray, np.ndarray]], t_first: int) -> int:
+        """Apply a neighbour's (values, updates) stream for halo column
+        ``c`` covering guest steps ``t_first..t_end``; returns the
+        number of pebbles (cells) actually consumed."""
+        lc = self.li(c)
+        consumed = 0
+        for offset, (vals, upds) in enumerate(rows):
+            t = t_first + offset
+            if t <= self.ver[lc]:
+                continue
+            self.S[:, lc] = self.program.apply_grid(self.S[:, lc], upds)
+            self.D[:, lc] = mix2_v(self.D[:, lc], upds)
+            self.V[1 : self.m + 1, lc] = vals
+            self.ver[lc] = t
+            consumed += len(vals)
+        return consumed
+
+
+@dataclass
+class TwoDimResult:
+    """Outcome of a Theorem-7 run."""
+
+    m: int
+    n_procs: int
+    d: int
+    g: int
+    steps: int
+    makespan: int
+    pebbles: int
+    exchanged_cells: int
+    verified: bool
+
+    @property
+    def slowdown(self) -> float:
+        """Host steps per guest step."""
+        return self.makespan / self.steps
+
+    def summary(self) -> dict:
+        """Flat dict for report tables."""
+        return {
+            "m": self.m,
+            "n0": self.n_procs,
+            "d": self.d,
+            "g": self.g,
+            "steps": self.steps,
+            "slowdown": round(self.slowdown, 2),
+            "estimate": round(twodim_slowdown_estimate(self.m, self.n_procs, self.d), 2),
+            "pebbles": self.pebbles,
+            "exchanged": self.exchanged_cells,
+            "verified": self.verified,
+        }
+
+
+def simulate_2d_on_uniform_array(
+    m: int,
+    n_procs: int,
+    d: int,
+    steps: int | None = None,
+    program: Program2D | None = None,
+    bandwidth: int | None = None,
+    verify: bool = True,
+) -> TwoDimResult:
+    """Theorem 7: an ``m x m`` guest on a uniform-delay-``d`` array."""
+    if m < 1 or n_procs < 1 or d < 1:
+        raise ValueError("need m, n_procs, d >= 1")
+    program = program or StencilCounterProgram()
+    g = math.ceil(m / n_procs)
+    tau = g
+    if steps is None:
+        steps = max(2, 2 * tau)
+    if bandwidth is None:
+        bandwidth = max(1, math.ceil(math.log2(max(2, n_procs))))
+
+    P = math.ceil(m / g)
+    procs: list[_Proc] = []
+    for p in range(P):
+        lo = p * g + 1
+        hi = min(m, (p + 1) * g)
+        procs.append(_Proc(m, lo, hi, tau, program))
+
+    makespan = 0
+    pebbles_total = 0
+    exchanged_total = 0
+    t0 = 0
+    while t0 < steps:
+        tau_b = min(tau, steps - t0)
+        batch_pebbles = [proc.compute_batch(t0, tau_b) for proc in procs]
+        pebbles_total += sum(batch_pebbles)
+        compute_time = max(batch_pebbles)
+        t_end = t0 + tau_b
+        # Exchange the missed wedge: halo column lo - j (resp. hi + j)
+        # was locally advanced only to t_end - j.
+        volume = 0
+        for idx, proc in enumerate(procs):
+            for j in range(1, tau + 1):
+                c = proc.lo - j
+                if c >= 1 and idx > 0:
+                    src = procs[idx - 1]
+                    rows = src.log.get(c)
+                    if rows:
+                        consumed = proc.resync(c, t_end, rows, t0 + 1)
+                        volume += 2 * consumed  # values + updates
+                c = proc.hi + j
+                if c <= m and idx + 1 < len(procs):
+                    src = procs[idx + 1]
+                    rows = src.log.get(c)
+                    if rows:
+                        consumed = proc.resync(c, t_end, rows, t0 + 1)
+                        volume += 2 * consumed
+        exchanged_total += volume
+        # Each direction of each link carries ~volume / (2P) of this;
+        # charge the busiest link, pipelined.
+        per_link = math.ceil(volume / max(1, 2 * len(procs))) if volume else 0
+        transit = batch_transit_time(per_link, d, bandwidth) if per_link else 0
+        makespan += compute_time + transit
+        t0 = t_end
+
+    verified = False
+    if verify:
+        reference = Guest2D(m, program).run_reference(steps)
+        _verify_2d(procs, reference, program, steps)
+        verified = True
+    return TwoDimResult(
+        m, P, d, g, steps, makespan, pebbles_total, exchanged_total, verified
+    )
+
+
+def _verify_2d(
+    procs: list[_Proc], reference: ReferenceRun2D, program: Program2D, steps: int
+) -> None:
+    """Check every own column's final values, versions, update digests
+    and states against the reference run."""
+    m = reference.m
+    ref_final = reference.values[steps, 1 : m + 1, 1 : m + 1]
+    for proc in procs:
+        for c in range(proc.lo, proc.hi + 1):
+            lc = proc.li(c)
+            if proc.ver[lc] != steps:
+                raise AssertionError(
+                    f"column {c}: version {proc.ver[lc]} != steps {steps}"
+                )
+            if not np.array_equal(proc.V[1 : m + 1, lc], ref_final[:, c - 1]):
+                raise AssertionError(f"column {c}: final values diverge")
+            if not np.array_equal(proc.D[:, lc], reference.update_digests[:, c - 1]):
+                raise AssertionError(f"column {c}: update digests diverge")
+            if not np.array_equal(proc.S[:, lc], reference.state_digests[:, c - 1]):
+                raise AssertionError(f"column {c}: final states diverge")
+
+
+def twodim_slowdown_estimate(m: int, n_procs: int, d: int) -> float:
+    """Theorem 7's analytic slowdown ``O(m + m^2 / n0)``:
+
+    * case 1 (``g == 1``): ``m + d`` per guest step;
+    * case 2: ``~ 3 m g`` compute per guest step plus amortised
+      latency ``d / g``.
+    """
+    g = math.ceil(m / n_procs)
+    if g == 1:
+        return m + d
+    return 3.0 * m * g + d / g
+
+
+def theorem8_slowdown_estimate(m: int, n: int, d_ave: float) -> float:
+    """Theorem 8's combined form: ``O(sqrt(N) log^3 N +
+    N^(1/4) sqrt(d_ave) log^3 N)`` for an ``N = m^2``-node guest."""
+    N = m * m
+    lg = max(1.0, math.log2(max(2, N)))
+    return math.sqrt(N) * lg**3 + N**0.25 * math.sqrt(max(1.0, d_ave)) * lg**3

@@ -1,0 +1,75 @@
+"""Experiment registry and result container."""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.report import format_table
+
+_EXPERIMENT_IDS = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+    "f1", "f2", "f3", "f4", "f5", "f6",
+    "a1", "a2", "a3", "a4",
+    "x1", "x2", "x3", "x4",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + shape summary of one experiment run."""
+
+    experiment: str
+    title: str
+    rows: list[dict]
+    summary: dict = field(default_factory=dict)
+    columns: list[str] | None = None
+
+    def render(self) -> str:
+        """Paper-style text block: title, table, summary lines."""
+        out = [f"== {self.experiment}: {self.title} =="]
+        out.append(format_table(self.rows, self.columns))
+        if self.summary:
+            out.append("")
+            for k, v in self.summary.items():
+                out.append(f"  {k}: {v}")
+        return "\n".join(out)
+
+    def print(self) -> None:
+        """Print :meth:`render` (bench/CLI convenience)."""
+        print("\n" + self.render())
+
+    def to_json(self) -> str:
+        """Machine-readable form (rows + summary) for downstream
+        tooling — plotting, regression tracking across commits."""
+
+        def _clean(value):
+            if isinstance(value, bool) or value is None:
+                return value
+            if isinstance(value, (int, float, str)):
+                return value
+            return str(value)
+
+        payload = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": [{k: _clean(v) for k, v in r.items()} for r in self.rows],
+            "summary": {str(k): _clean(v) for k, v in self.summary.items()},
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids."""
+    return list(_EXPERIMENT_IDS)
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    """Resolve ``run`` for an experiment id (lazy import)."""
+    exp_id = exp_id.lower()
+    if exp_id not in _EXPERIMENT_IDS:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {_EXPERIMENT_IDS}")
+    mod = importlib.import_module(f"repro.experiments.{exp_id}")
+    return mod.run

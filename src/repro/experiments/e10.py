@@ -1,0 +1,81 @@
+"""E10 — Lemmas 1-4: the killing/labelling invariants, quantitatively.
+
+Across host styles (bimodal NOW, heavy-tail, one-huge-link) and seeds:
+stage-1 kills stay below ``n/c`` (Lemma 1), the stage-2 root label
+stays above ``(1 - 2/c) n`` (Lemma 2), every remaining stage-3 label
+clears ``2 m_k`` (Lemma 4), and the total kill fraction stays below
+``~2/c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.killing import (
+    kill_and_label,
+    lemma1_bound,
+    lemma2_bound,
+    lemma4_checks,
+)
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+from repro.topology.delays import bimodal_delays, pareto_delays
+
+
+def _hosts(n: int, seeds: range):
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        yield f"bimodal/{seed}", HostArray(
+            bimodal_delays(n - 1, rng, near=1, far=n, p_far=0.04)
+        )
+        yield f"pareto/{seed}", HostArray(
+            pareto_delays(n - 1, rng, alpha=1.1, cap=8 * n)
+        )
+    delays = [1] * (n - 1)
+    delays[n // 3] = 64 * n
+    yield "one-huge-link", HostArray(delays)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the lemma sweep."""
+    n = 128 if quick else 512
+    seeds = range(3) if quick else range(8)
+    c = 4.0
+    rows = []
+    all_ok = True
+    for name, host in _hosts(n, seeds):
+        res = kill_and_label(host, c)
+        k1, b1 = lemma1_bound(res)
+        l2, b2 = lemma2_bound(res)
+        lemma4 = all(
+            label >= thr - 1e-6
+            for depth, label, thr in lemma4_checks(res)
+            if depth < res.params.lg
+        )
+        ok = k1 <= b1 and l2 >= b2 - 1e-6 and lemma4
+        all_ok &= ok
+        rows.append(
+            {
+                "host": name,
+                "d_ave": round(host.d_ave, 2),
+                "d_max": host.d_max,
+                "stage1 kills": k1,
+                "<= n/c": round(b1, 1),
+                "root label": round(res.root_label, 1),
+                ">= (1-2/c)n": round(b2, 1),
+                "killed frac": round(res.killed_fraction(), 3),
+                "lemma4": lemma4,
+            }
+        )
+
+    return ExperimentResult(
+        "E10",
+        "Lemmas 1-4 - killing and labelling invariants",
+        rows,
+        summary={
+            "all lemma bounds hold": all_ok,
+            "max killed fraction (<= ~2/c = 0.5)": max(
+                r["killed frac"] for r in rows
+            ),
+        },
+    )

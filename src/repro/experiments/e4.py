@@ -1,0 +1,54 @@
+"""E4 — Theorem 5: the composed ``O(sqrt(d_ave) log^3 n)`` simulation.
+
+Sweep ``d_ave`` on the composed (OVERLAP ∘ Theorem-4) assignment and
+compare its scaling exponent against plain OVERLAP on the same hosts:
+composition should cut the ``d_ave`` exponent from ~1 toward ~0.5.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import fit_power_law
+from repro.core.composed import simulate_composed, theorem5_bound
+from repro.core.overlap import simulate_overlap
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the composed-simulation sweep."""
+    n = 32 if quick else 64
+    d_values = [4, 16, 64] if quick else [4, 16, 64, 256]
+
+    rows, ds, comp_slows, plain_slows = [], [], [], []
+    for d in d_values:
+        host = HostArray.uniform(n, d)
+        comp = simulate_composed(host, verify=(d <= 16))
+        plain = simulate_overlap(host, steps=comp.steps, block=1, verify=False)
+        rows.append(
+            {
+                "d_ave": d,
+                "q": comp.q,
+                "m (composed)": comp.m,
+                "composed slowdown": round(comp.slowdown, 2),
+                "plain OVERLAP": round(plain.slowdown, 2),
+                "slow/sqrt(d)": round(comp.normalized(), 2),
+                "thm5 bound": round(theorem5_bound(host), 1),
+                "verified": comp.verified,
+            }
+        )
+        ds.append(d)
+        comp_slows.append(comp.slowdown)
+        plain_slows.append(plain.slowdown)
+
+    fit_comp = fit_power_law(ds, comp_slows)
+    fit_plain = fit_power_law(ds, plain_slows)
+    return ExperimentResult(
+        "E4",
+        "Theorem 5 - composition cuts the d_ave exponent to ~1/2",
+        rows,
+        summary={
+            "composed exponent (paper: ~0.5)": round(fit_comp.exponent, 3),
+            "plain exponent (paper: ~1)": round(fit_plain.exponent, 3),
+            "composition wins at large d": comp_slows[-1] < plain_slows[-1],
+        },
+    )

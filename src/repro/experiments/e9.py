@@ -1,0 +1,77 @@
+"""E9 — the baseline comparison (the paper's Section-1 claims).
+
+On hosts with one long link of delay ``F`` (sweeping ``F``), compare:
+
+* lockstep (circuit-style, slow the clock to ``d_max``) — closed form;
+* single-copy greedy (no redundancy, all processors);
+* prior-efficient (``~ n / d_max`` processors, big blocks);
+* OVERLAP with block 1 and block 16.
+
+The paper's claim: redundant computation makes the slowdown
+``d_max``-independent — the blocked OVERLAP column should flatten while
+every baseline grows linearly with ``F``, with the crossover where
+``F`` exceeds the (polylog-sized) redundancy overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import crossover_point, fit_power_law
+from repro.core.baselines import (
+    lockstep_slowdown,
+    simulate_prior_efficient,
+    simulate_single_copy,
+)
+from repro.core.overlap import simulate_overlap
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+
+
+def _host(n: int, F: int) -> HostArray:
+    delays = [1] * (n - 1)
+    delays[n // 2 - 1] = F
+    return HostArray(delays)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the baseline-comparison sweep."""
+    n = 128 if quick else 256
+    steps = 20 if quick else 32
+    Fs = [16, 64, 256, 1024] if quick else [16, 64, 256, 1024, 4096]
+
+    rows = []
+    series = {"single": [], "overlap16": []}
+    for F in Fs:
+        host = _host(n, F)
+        single = simulate_single_copy(host, steps=steps, verify=False)
+        prior = simulate_prior_efficient(host, steps=steps, verify=False)
+        ov1 = simulate_overlap(host, steps=steps, block=1, verify=False)
+        ov16 = simulate_overlap(host, steps=steps, block=16, verify=False)
+        rows.append(
+            {
+                "F (=d_max)": F,
+                "lockstep": lockstep_slowdown(host),
+                "1-copy": round(single.slowdown, 1),
+                "prior n/dmax": round(prior.slowdown, 1),
+                "OVERLAP b=1": round(ov1.slowdown, 1),
+                "OVERLAP b=16": round(ov16.slowdown, 1),
+            }
+        )
+        series["single"].append(single.slowdown)
+        series["overlap16"].append(ov16.slowdown)
+
+    fit_single = fit_power_law(Fs, series["single"])
+    fit_ov = fit_power_law(Fs, series["overlap16"])
+    cross = crossover_point(Fs, series["overlap16"], series["single"])
+    return ExperimentResult(
+        "E9",
+        "Baselines vs OVERLAP as d_max grows (single long link)",
+        rows,
+        summary={
+            "1-copy exponent in d_max (~1)": round(fit_single.exponent, 3),
+            "blocked OVERLAP exponent (<< 1)": round(fit_ov.exponent, 3),
+            "OVERLAP starts winning at F": cross,
+            "who wins at the largest F": (
+                "OVERLAP" if series["overlap16"][-1] < series["single"][-1] else "baseline"
+            ),
+        },
+    )

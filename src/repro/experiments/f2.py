@@ -1,0 +1,55 @@
+"""F2 — Figure 2: the interval tree, its labels and the kill pattern.
+
+Builds the binary tree T over a concrete skewed host and prints the
+per-depth picture Figure 2 sketches: interval counts, how many nodes
+were removed, label ranges, and where the killed processors sit.
+"""
+
+from __future__ import annotations
+
+from repro.core.killing import kill_and_label
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Tabulate the annotated tree per depth."""
+    n = 128 if quick else 256
+    # Two disproportionately long links: their small enclosing
+    # intervals blow the D_k budget and get killed (Figure 2's white
+    # circles); the rest of the array stays live.
+    delays = [1] * (n - 1)
+    delays[n // 3] = 64 * n
+    delays[(2 * n) // 3] = 32 * n
+    host = HostArray(delays)
+    res = kill_and_label(host)
+    tree, params = res.tree, res.params
+
+    rows = []
+    for k in range(tree.height + 1):
+        nodes = tree.nodes_at_depth(k)
+        removed = [nd for nd in nodes if nd.removed]
+        labels = [nd.label3 for nd in nodes if not nd.removed and nd.label3]
+        rows.append(
+            {
+                "depth k": k,
+                "intervals": len(nodes),
+                "removed": len(removed),
+                "D_k": round(params.D(k), 1),
+                "m_k": round(params.m(k), 3),
+                "min label3": round(min(labels), 2) if labels else "-",
+                "max label3": round(max(labels), 2) if labels else "-",
+            }
+        )
+
+    return ExperimentResult(
+        "F2",
+        "Figure 2 - interval tree with labels and killed intervals",
+        rows,
+        summary={
+            "host": f"n={n}, d_ave={host.d_ave:.2f}, d_max={host.d_max}",
+            "killed stage1": len(res.killed_stage1),
+            "killed stage2": len(res.killed_stage2),
+            "root label n'": res.n_prime,
+        },
+    )

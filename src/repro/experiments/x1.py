@@ -1,0 +1,99 @@
+"""X1 — exploring the paper's open questions (Section 7).
+
+Two of the paper's closing questions are directly explorable with this
+stack:
+
+* *"it would be interesting to consider the case when G and H have
+  identical network structures (but different link delays) in order to
+  study the effect of latencies in isolation"* — we fix ``|G| = |H| =
+  n`` arrays, fix ``d_ave``, and sweep the delay *variance* (constant,
+  uniform, bimodal, one-huge-link).  Measured: variance barely matters
+  once OVERLAP blocks; without redundancy the worst link dominates.
+* rings on rings (via the fold + Fact-3 reduction): the guest ring's
+  wrap costs only the promised small constant over the array case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import simulate_single_copy
+from repro.core.overlap import simulate_overlap
+from repro.core.ring import simulate_ring
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+from repro.topology.delays import bimodal_delays, scale_to_average, uniform_delays
+
+
+def _same_dave_hosts(n: int, d_ave: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    yield "constant", HostArray([d_ave] * (n - 1))
+    yield "uniform", HostArray(
+        scale_to_average(uniform_delays(n - 1, rng, 1, 2 * d_ave), d_ave)
+    )
+    yield "bimodal", HostArray(
+        scale_to_average(bimodal_delays(n - 1, rng, 1, 16 * d_ave, 0.05), d_ave)
+    )
+    total_extra = (d_ave - 1) * (n - 1)
+    delays = [1] * (n - 1)
+    delays[n // 2 - 1] = 1 + total_extra
+    yield "one-huge-link", HostArray(delays)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the open-question explorations."""
+    n = 96 if quick else 192
+    d_ave = 8
+    steps = 16 if quick else 24
+
+    rows = []
+    blocked, single = [], []
+    for name, host in _same_dave_hosts(n, d_ave):
+        ov = simulate_overlap(host, steps=steps, block=8, verify=False)
+        sc = simulate_single_copy(host, steps=steps, verify=False)
+        blocked.append(ov.slowdown)
+        single.append(sc.slowdown)
+        rows.append(
+            {
+                "experiment": "delay-variance",
+                "host": name,
+                "d_ave": round(host.d_ave, 1),
+                "d_max": host.d_max,
+                "single-copy": round(sc.slowdown, 1),
+                "OVERLAP b=8": round(ov.slowdown, 1),
+            }
+        )
+
+    ring_host = HostArray.uniform(24, 4)
+    ring = simulate_ring(ring_host, steps=8, verify=quick)
+    arr = simulate_single_copy(ring_host, m=24, steps=8, verify=False)
+    rows.append(
+        {
+            "experiment": "ring-vs-array",
+            "host": "uniform d=4",
+            "d_ave": 4,
+            "d_max": 4,
+            "single-copy": round(arr.slowdown, 1),
+            "OVERLAP b=8": round(ring.slowdown, 1),  # ring slowdown column
+        }
+    )
+
+    return ExperimentResult(
+        "X1",
+        "Section 7 open questions - latency variance in isolation; rings",
+        rows,
+        summary={
+            "blocked OVERLAP variance sensitivity (max/min)": round(
+                max(blocked) / min(blocked), 2
+            ),
+            "single-copy variance sensitivity (max/min)": round(
+                max(single) / min(single), 2
+            ),
+            "redundancy makes variance nearly irrelevant": max(blocked)
+            / min(blocked)
+            < max(single) / min(single),
+            "ring overhead vs array (paper: <= 2)": round(
+                ring.slowdown / arr.slowdown, 2
+            ),
+        },
+    )

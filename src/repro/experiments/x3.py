@@ -1,0 +1,36 @@
+"""X3 — calibrating the constants behind the O(.)s.
+
+The theorems leave their constants unspecified; a downstream adopter
+needs the *measured* constants of this implementation.  X3 fits the
+claimed functional forms by least squares:
+
+* Theorem 4:  ``slowdown = c1 sqrt(d) + c0`` — the proof's explicit
+  accounting gives ``c1 <= 5``; greedy execution realises less.
+* Theorem 2:  ``slowdown = c1 d_ave + c0`` at fixed n (blocked).
+* Theorem 7 case 2:  ``slowdown = c1 (m g) + c0`` — the paper's
+  redundant-pebble count says ``c1 ~ 3``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibrate import calibration_table
+from repro.experiments.base import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Fit the constants."""
+    rows = calibration_table()
+    t4 = rows[0]
+    t7 = rows[2]
+    return ExperimentResult(
+        "X3",
+        "Calibration - measured constants of the paper's bounds",
+        rows,
+        summary={
+            "Thm 4 constant within the paper's 5": t4["measured c1"] <= 5.0,
+            "Thm 7 constant within the paper's 3": t7["measured c1"] <= 3.2,
+            "all fits high quality (R^2 > 0.95)": all(
+                r["R^2"] > 0.95 for r in rows
+            ),
+        },
+    )

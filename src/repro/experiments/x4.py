@@ -1,0 +1,66 @@
+"""X4 — validating the block-factor planner.
+
+A downstream adopter's first question is "what ``beta`` do I run with
+on *my* NOW?"  The planner predicts the per-row cost curve from the
+killed/labelled tree alone (compute ``~2 beta`` vs binding-boundary
+latency ``delay / (overlap * beta)``) with no simulation.  X4 sweeps
+``beta`` on three host archetypes, measures the true slowdowns, and
+checks that the recommendation lands within one rung of the measured
+optimum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.planner import plan_block_factor
+from repro.core.overlap import simulate_overlap
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+from repro.topology.presets import campus, mixed_now
+
+
+def _hosts(quick: bool):
+    n = 128 if quick else 256
+    delays = [1] * (n - 1)
+    delays[n // 2 - 1] = 512
+    yield HostArray(delays, "outlier512")
+    yield campus(96 if quick else 192)
+    yield mixed_now(96 if quick else 192, seed=1)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Run the planner-validation sweep."""
+    betas = [1, 4, 8, 16, 32]
+    steps = 16 if quick else 24
+    rows = []
+    hits = []
+    for host in _hosts(quick):
+        plan = plan_block_factor(host, candidates=betas)
+        measured = {}
+        for beta in betas:
+            res = simulate_overlap(host, steps=steps, block=beta, verify=False)
+            measured[beta] = res.slowdown
+        best = min(measured, key=measured.get)
+        hit = plan.beta in (best // 2, best, best * 2)
+        hits.append(hit)
+        rows.append(
+            {
+                "host": host.name,
+                "d_max": host.d_max,
+                "planned beta": plan.beta,
+                "measured best": best,
+                "slow@planned": round(measured[plan.beta], 1),
+                "slow@best": round(measured[best], 1),
+                "regret": round(measured[plan.beta] / measured[best], 2),
+                "within one rung": hit,
+            }
+        )
+
+    return ExperimentResult(
+        "X4",
+        "Planner - predict the right block factor without simulating",
+        rows,
+        summary={
+            "recommendation within one rung everywhere": all(hits),
+            "worst regret (planned vs best)": max(r["regret"] for r in rows),
+        },
+    )

@@ -1,0 +1,45 @@
+"""Section 6: lower bounds on slowdown with bounded database copies.
+
+* :mod:`audit` — assignment auditors: generic, rigorous lower bounds on
+  the slowdown of *any* execution under a given database assignment
+  (work argument + adjacent-column separation argument), plus the
+  windowed ``k``-copy assignment builder used by the experiments.
+* :mod:`h1` — Theorem 9: with one copy per database the slowdown on
+  host ``H1`` is ``d_max = sqrt(n)`` even though ``d_ave = O(1)``.
+* :mod:`h2` — Theorem 10 and Fact 4: with at most two copies and
+  constant load, host ``H2`` forces slowdown ``Omega(log n)``; includes
+  the Figure-6 zigzag-path construction.
+"""
+
+from repro.lower_bounds.audit import (
+    AuditReport,
+    adjacency_separation_bound,
+    audit_assignment,
+    windowed_assignment,
+    work_lower_bound,
+)
+from repro.lower_bounds.h1 import h1_adversarial_pair, theorem9_audit
+from repro.lower_bounds.h2 import (
+    fact4_violations,
+    find_overlap_pattern,
+    h2_census,
+    theorem10_bound,
+    zigzag_path,
+    zigzag_is_dependency_path,
+)
+
+__all__ = [
+    "AuditReport",
+    "audit_assignment",
+    "adjacency_separation_bound",
+    "work_lower_bound",
+    "windowed_assignment",
+    "theorem9_audit",
+    "h1_adversarial_pair",
+    "h2_census",
+    "fact4_violations",
+    "find_overlap_pattern",
+    "theorem10_bound",
+    "zigzag_path",
+    "zigzag_is_dependency_path",
+]

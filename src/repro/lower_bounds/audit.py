@@ -1,0 +1,129 @@
+"""Assignment auditors: rigorous slowdown lower bounds.
+
+Given a host array and a database assignment, two arguments bound the
+slowdown of *every* possible execution from below:
+
+**Work argument.**  ``m * T`` pebbles must be computed (at least once)
+by the processors that hold databases, one pebble per step each, so
+``slowdown >= m / #used``.
+
+**Adjacent-column separation** (the engine of Theorems 9 and 10).
+Pebble ``(i, t)`` needs pebble ``(i+1, t-1)`` and vice versa; if every
+owner of column ``i`` is at least delay ``D`` from every owner of
+column ``i+1``, then each guest step forces a ``D``-delay crossing in
+at least one direction, so ``slowdown >= D / 2`` (the two crossings of
+one round trip amortise over two steps).
+
+These bounds hold for any scheduler — including ours — so the
+benchmarks report them next to measured slowdowns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.machine.host import HostArray
+
+
+def work_lower_bound(assignment: Assignment) -> float:
+    """``m / #used`` — slowdown floor from counting pebbles."""
+    used = len(assignment.used_positions())
+    if used == 0:
+        return math.inf
+    return assignment.m / used
+
+
+def adjacency_separation_bound(
+    host: HostArray, assignment: Assignment
+) -> tuple[float, int]:
+    """Max over adjacent column pairs of (min owner separation) / 2.
+
+    Returns ``(bound, argmax_column)``; 0 when some owner pair of each
+    adjacent column pair is co-located (or owner sets intersect).
+    """
+    owners = assignment.owners()
+    best = 0.0
+    best_col = 0
+    for i in range(1, assignment.m):
+        left = owners.get(i, [])
+        right = owners.get(i + 1, [])
+        if not left or not right:
+            continue
+        dmin = min(host.distance(p, q) for p in left for q in right)
+        if dmin / 2 > best:
+            best = dmin / 2
+            best_col = i
+    return best, best_col
+
+
+@dataclass
+class AuditReport:
+    """Combined lower-bound audit of one assignment."""
+
+    m: int
+    used: int
+    max_copies: int
+    load: int
+    work_bound: float
+    separation_bound: float
+    separation_column: int
+
+    @property
+    def slowdown_lower_bound(self) -> float:
+        """Best (largest) of the rigorous bounds."""
+        return max(self.work_bound, self.separation_bound)
+
+
+def audit_assignment(host: HostArray, assignment: Assignment) -> AuditReport:
+    """Run both auditors and package the result."""
+    owners = assignment.owners()
+    max_copies = max((len(v) for v in owners.values()), default=0)
+    sep, col = adjacency_separation_bound(host, assignment)
+    return AuditReport(
+        m=assignment.m,
+        used=len(assignment.used_positions()),
+        max_copies=max_copies,
+        load=assignment.load(),
+        work_bound=work_lower_bound(assignment),
+        separation_bound=sep,
+        separation_column=col,
+    )
+
+
+def windowed_assignment(
+    n: int,
+    m: int,
+    copies: int = 2,
+    positions: list[int] | None = None,
+) -> Assignment:
+    """Constant-load ``copies``-copy assignment with contiguous ranges.
+
+    Position index ``p`` (among the usable ``positions``) holds columns
+    ``(p - copies + 1) * s + 1 .. (p + 1) * s`` where ``s = ceil(m /
+    #positions)`` — sliding windows of ``copies`` blocks, so every
+    column has at most ``copies`` owners and the load is
+    ``copies * s``.  This is the natural bounded-copy layout Theorem 10
+    quantifies over.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    if positions is None:
+        positions = list(range(n))
+    k = len(positions)
+    s = math.ceil(m / k)
+    ranges: list[tuple[int, int] | None] = [None] * n
+    for idx, p in enumerate(positions):
+        lo = max(1, (idx - copies + 1) * s + 1)
+        hi = min(m, (idx + 1) * s)
+        if lo <= hi:
+            ranges[p] = (lo, hi)
+    asg = Assignment(ranges, m)
+    asg.validate()
+    return asg
+
+
+def max_copies(assignment: Assignment) -> int:
+    """Largest number of owners of any column."""
+    return max((len(v) for v in assignment.owners().values()), default=0)

@@ -1,0 +1,234 @@
+"""Theorem 10 and Fact 4: the two-copy lower bound on host ``H2``.
+
+``H2`` (Figure 5) is the recursive level-``k`` box construction built
+by :func:`repro.topology.generators.h2_host`.  This module provides:
+
+* :func:`h2_census` — the edge/delay census the construction promises
+  (``2^k`` delay-``d`` links, ``~ k 2^k d / log n`` delay-1 links,
+  constant average delay) — the F5 bench;
+* :func:`fact4_violations` — checks Fact 4 on concrete segment pairs:
+  processors in different segments ``I``, ``J`` are separated by delay
+  at least ``min(u, v) * log(n) / 2`` (our linear layout achieves the
+  paper's bound up to the factor 1/2, which the lower bound absorbs
+  into its constant);
+* :func:`zigzag_path` — the 4j-pebble dependency path of Figure 6 used
+  in Theorem 10's case 1, with a validator;
+* :func:`find_overlap_pattern` / :func:`theorem10_bound` — the paper's
+  case analysis applied to a concrete two-copy assignment, yielding an
+  ``Omega(log n)`` slowdown bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.lower_bounds.audit import adjacency_separation_bound
+from repro.topology.generators import H2Host, Segment
+
+
+def h2_census(h2: H2Host) -> dict:
+    """Edge and delay statistics vs the paper's closed forms."""
+    delays = h2.array.link_delays
+    long_links = sum(1 for x in delays if x == h2.d)
+    unit_links = sum(1 for x in delays if x == 1)
+    k = h2.level
+    return {
+        "n_processors": h2.array.n,
+        "level": k,
+        "d": h2.d,
+        "long_links": long_links,
+        "long_links_expected": 2**k,
+        "unit_links": unit_links,
+        "unit_links_expected": round(k * 2**k * h2.d / h2.log_n),
+        "d_ave": round(h2.array.d_ave, 3),
+        "segments": len(h2.segments),
+        "segment_sizes": sorted({s.size for s in h2.segments}),
+    }
+
+
+def segment_separation(h2: H2Host, a: Segment, b: Segment) -> int:
+    """Smallest delay between any processor of ``a`` and any of ``b``
+    (segments are contiguous runs, so endpoints suffice)."""
+    if a.start > b.start:
+        a, b = b, a
+    return h2.array.distance(a.end, b.start)
+
+
+def fact4_violations(h2: H2Host, slack: float = 0.4) -> list[tuple[Segment, Segment, int, float]]:
+    """Check Fact 4 on all segment pairs.
+
+    Returns pairs violating ``delay >= slack * min(u, v) * log n``.
+    The linear layout realises the paper's bound with constant ~1/2:
+    a level-``l`` segment of ``u ~ 2^l d / log n`` processors is
+    separated from every other segment by at least ``2^(l-1)`` long
+    links, i.e. ``~ u log(n) / 2``; the ``ceil`` in the segment sizes
+    erodes that by a hair, so the default check uses 0.4 (any positive
+    constant suffices for Theorem 10).
+    """
+    bad = []
+    segs = h2.segments
+    for i, a in enumerate(segs):
+        for b in segs[i + 1 :]:
+            d = segment_separation(h2, a, b)
+            need = slack * min(a.size, b.size) * h2.log_n
+            if d < need:
+                bad.append((a, b, d, need))
+    return bad
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: the zigzag path of Theorem 10, case 1.
+# ---------------------------------------------------------------------------
+
+
+def zigzag_path(i: int, j: int, t: int) -> list[tuple[int, int]]:
+    """The 4j-pebble path ``tau_1 <- ... <- tau_4j`` (Figure 6).
+
+    ``tau_k`` is returned as ``(column, time)`` per the paper's case
+    table (``j`` must be even and ``t > 4j`` so times stay positive).
+    """
+    if j < 2 or j % 2 != 0:
+        raise ValueError("the construction assumes even j >= 2")
+    if t <= 4 * j:
+        raise ValueError("need t > 4j so every pebble has positive time")
+    path = []
+    for k in range(1, 4 * j + 1):
+        if k <= j:  # A
+            col = i + k
+        elif k <= 2 * j:  # B (odd) / C (even)
+            col = i + j + 1 if k % 2 == 1 else i + j
+        elif k <= 3 * j:  # D
+            col = i - k + 3 * j
+        else:  # E (even) / F (odd)
+            col = i + 1 if k % 2 == 0 else i
+        path.append((col, t - k))
+    return path
+
+
+def zigzag_is_dependency_path(path: list[tuple[int, int]]) -> bool:
+    """Validate that consecutive pebbles are dependency-adjacent:
+    ``tau_k`` depends on ``tau_{k+1}`` iff the time drops by exactly 1
+    and the column moves by at most 1."""
+    for (c1, t1), (c2, t2) in zip(path, path[1:]):
+        if t2 != t1 - 1 or abs(c1 - c2) > 1:
+            return False
+    return True
+
+
+def path_delay_bound(
+    h2: H2Host, assignment: Assignment, path: list[tuple[int, int]]
+) -> float:
+    """Minimum total communication delay to realise ``path``.
+
+    For each dependency edge whose two pebbles' columns share no owner,
+    at least the min owner-pair delay must elapse; the sum lower-bounds
+    the time to compute ``tau_1`` after ``tau_4j``.
+    """
+    owners = assignment.owners()
+    total = 0.0
+    for (c1, _), (c2, _) in zip(path, path[1:]):
+        o1 = owners.get(c1, [])
+        o2 = owners.get(c2, [])
+        if not o1 or not o2:
+            continue
+        if set(o1) & set(o2):
+            continue
+        total += min(h2.array.distance(p, q) for p in o1 for q in o2)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Theorem 10's case analysis on a concrete assignment.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OverlapPattern:
+    """Case-1 witness: columns ``i..i+j`` in segment ``I`` and columns
+    ``i+1..i+j+1`` in segment ``J != I``."""
+
+    i: int
+    j: int
+    seg_i: Segment
+    seg_j: Segment
+
+
+def _column_segments(h2: H2Host, assignment: Assignment) -> dict[int, set]:
+    """Map each column to the set of segments of its owners (None for
+    owners outside every segment)."""
+    out: dict[int, set] = {}
+    for c, ps in assignment.owners().items():
+        segs = set()
+        for p in ps:
+            seg = h2.segment_of(p)
+            segs.add((seg.level, seg.start) if seg else None)
+        out[c] = segs
+    return out
+
+
+def find_overlap_pattern(
+    h2: H2Host, assignment: Assignment
+) -> OverlapPattern | None:
+    """Search for the case-1 "overlap" pattern of Theorem 10.
+
+    Looks for two distinct segments whose assigned column sets share a
+    run of ``j >= 1`` consecutive columns, extended by one extra column
+    on each side in the respective segment.
+    """
+    seg_cols: dict[tuple, set[int]] = {}
+    for p in assignment.used_positions():
+        seg = h2.segment_of(p)
+        if seg is None:
+            continue
+        key = (seg.level, seg.start)
+        lo, hi = assignment.ranges[p]
+        seg_cols.setdefault(key, set()).update(range(lo, hi + 1))
+    seg_objs = {(s.level, s.start): s for s in h2.segments}
+    keys = list(seg_cols)
+    for a_idx, ka in enumerate(keys):
+        for kb in keys[a_idx + 1 :]:
+            shared = seg_cols[ka] & seg_cols[kb]
+            for i_plus_1 in sorted(shared):
+                # run of shared consecutive columns starting here
+                jj = 0
+                while i_plus_1 + jj in shared:
+                    jj += 1
+                i = i_plus_1 - 1
+                j = jj
+                if j >= 1 and i in seg_cols[ka] and i + j + 1 in seg_cols[kb]:
+                    return OverlapPattern(i, j, seg_objs[ka], seg_objs[kb])
+                if j >= 1 and i in seg_cols[kb] and i + j + 1 in seg_cols[ka]:
+                    return OverlapPattern(i, j, seg_objs[kb], seg_objs[ka])
+    return None
+
+
+def theorem10_bound(h2: H2Host, assignment: Assignment, c_load: float | None = None) -> dict:
+    """Apply Theorem 10's dichotomy to a concrete <=2-copy assignment.
+
+    Returns a dict with the detected case, the analytic ``Omega(log
+    n)`` bound (amortised per guest step), and the generic
+    separation-audit bound for comparison.
+    """
+    if c_load is None:
+        c_load = float(assignment.load())
+    pattern = find_overlap_pattern(h2, assignment)
+    sep, sep_col = adjacency_separation_bound(h2.array, assignment)
+    if pattern is not None:
+        # Case 1: over any 4j steps either an inter-segment crossing of
+        # (j/c) log n occurs, or log n is paid ~j times.
+        per_step = min(h2.log_n / (4 * c_load), h2.log_n / 4)
+        case = "case1-overlap"
+    else:
+        # Case 2: consecutive columns i-1, i owned only by different
+        # segments: every step pays >= log n (amortised /2).
+        per_step = h2.log_n / 2
+        case = "case2-no-overlap"
+    return {
+        "case": case,
+        "log_n": h2.log_n,
+        "analytic_bound": per_step,
+        "separation_bound": sep,
+        "separation_column": sep_col,
+        "pattern": pattern,
+    }

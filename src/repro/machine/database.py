@@ -1,0 +1,98 @@
+"""Replicated database state.
+
+In the paper each guest processor ``g_i`` owns a database ``b_i`` that
+is consulted before and updated after every computation.  Databases may
+be *copied before the simulation starts* (enabling redundant
+computation) but are too large to ship during the simulation; only
+per-step updates travel.  Consequently every replica of ``b_i`` must
+apply exactly the same update sequence in exactly the same order —
+this module makes that checkable.
+
+A :class:`Database` wraps program-defined state together with a running
+*digest* that mixes in every applied update in order.  Two replicas that
+processed the same update sequence have equal digests; any divergence
+(missed update, reordering, wrong value) changes the digest with
+overwhelming probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine.mixing import mix2_s, tag_s
+
+
+@dataclass
+class Database:
+    """One replica of guest database ``b_i``.
+
+    Attributes
+    ----------
+    column:
+        Guest column index ``i`` this database belongs to.
+    state:
+        Program-defined state (an int for word-state programs, a dict
+        for the keyed store, ...).  Mutated only via :meth:`apply`.
+    version:
+        Number of updates applied == the guest step the replica has
+        reached.
+    digest:
+        Order-sensitive hash of the applied update sequence.
+    """
+
+    column: int
+    state: Any
+    version: int = 0
+    digest: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.digest == 0:
+            self.digest = tag_s(0xDB, self.column)
+
+    def apply(self, program: "Any", update: int) -> None:
+        """Apply one update through the program and advance the digest."""
+        self.state = program.apply(self.state, update)
+        self.version += 1
+        self.digest = mix2_s(self.digest, update)
+
+    def fork(self) -> "Database":
+        """Copy this replica (only legal before the simulation starts,
+        i.e. at version 0 — the paper's copy-before-start rule)."""
+        if self.version != 0:
+            raise RuntimeError(
+                "databases may only be copied before the simulation starts "
+                f"(replica of column {self.column} is at version {self.version})"
+            )
+        state = dict(self.state) if isinstance(self.state, dict) else self.state
+        return Database(self.column, state, 0, self.digest)
+
+    def summary(self) -> tuple[int, int, int]:
+        """(column, version, digest) triple used by the verifier."""
+        return (self.column, self.version, self.digest)
+
+
+def check_replica_agreement(replicas: list[Database]) -> None:
+    """Assert that all replicas of one column ended in the same state.
+
+    Raises
+    ------
+    AssertionError
+        If any two replicas disagree on version or digest — meaning the
+        simulation violated the database model's consistency contract.
+    """
+    if not replicas:
+        return
+    col = replicas[0].column
+    ref = replicas[0]
+    for rep in replicas[1:]:
+        if rep.column != col:
+            raise AssertionError(
+                f"mixed columns in replica set: {rep.column} vs {col}"
+            )
+        if rep.version != ref.version or rep.digest != ref.digest:
+            raise AssertionError(
+                f"replica divergence on column {col}: "
+                f"(v={ref.version}, digest={ref.digest:#x}) vs "
+                f"(v={rep.version}, digest={rep.digest:#x})"
+            )

@@ -1,0 +1,220 @@
+"""The ``m x m`` guest array of Section 5 and its reference executor.
+
+Pebble ``(r, c, t)`` of a 2-D guest depends on its own previous pebble,
+its four neighbours' previous pebbles, and database ``b_{r,c}``.  A
+virtual frame of boundary pebbles (known at time 0) surrounds the grid
+so every pebble has five parents, mirroring the 1-D convention.
+
+Section 5 simulates the 2-D guest by slicing it into *columns* (or
+column blocks) that are placed on a linear array; the reference
+executor here provides the ground truth those simulations are verified
+against.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.mixing import mix2_s, mix2_v, mix4_s, mix4_v, tag_s
+
+
+class Program2D(ABC):
+    """Guest program for 2-D arrays (five parents + database state)."""
+
+    name: str = "abstract2d"
+    uses_database: bool = True
+
+    @abstractmethod
+    def init_state(self, r: int, c: int) -> int:
+        """Initial database state of cell ``(r, c)``."""
+
+    @abstractmethod
+    def compute(
+        self,
+        r: int,
+        c: int,
+        t: int,
+        state: int,
+        north: int,
+        south: int,
+        west: int,
+        east: int,
+        up: int,
+    ) -> tuple[int, int]:
+        """Return ``(value, update)`` of pebble ``(r, c, t)``."""
+
+    @abstractmethod
+    def apply(self, state: int, update: int) -> int:
+        """State after applying ``update``."""
+
+    # vector path over whole grids ------------------------------------
+    @abstractmethod
+    def init_state_grid(self, m: int) -> np.ndarray:
+        """``(m, m)`` uint64 initial states."""
+
+    @abstractmethod
+    def compute_grid(
+        self, t, states, north, south, west, east, up
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`compute` over the whole interior."""
+
+    @abstractmethod
+    def apply_grid(self, states, updates) -> np.ndarray:
+        """Vectorised :meth:`apply`."""
+
+
+class StencilCounterProgram(Program2D):
+    """2-D analogue of the 1-D ``counter`` program.
+
+    The value mixes the database state with the folded neighbourhood;
+    the state absorbs every value — a database-model stencil such as a
+    relaxation sweep that logs into a local store.
+    """
+
+    name = "stencil2d"
+    uses_database = True
+
+    def init_state(self, r: int, c: int) -> int:
+        return tag_s(0x2D, r, c)
+
+    def compute(self, r, c, t, state, north, south, west, east, up):
+        nb = mix4_s(north, south, west, east)
+        value = mix2_s(mix2_s(state, nb), up)
+        return value, value
+
+    def apply(self, state, update):
+        return mix2_s(state, update)
+
+    def init_state_grid(self, m):
+        rr = np.arange(1, m + 1, dtype=np.uint64)[:, None]
+        cc = np.arange(1, m + 1, dtype=np.uint64)[None, :]
+        seed = np.uint64(tag_s(0x2D))
+        return mix2_v(mix2_v(np.broadcast_to(seed, (m, m)), np.broadcast_to(rr, (m, m))), np.broadcast_to(cc, (m, m)))
+
+    def compute_grid(self, t, states, north, south, west, east, up):
+        nb = mix4_v(north, south, west, east)
+        values = mix2_v(mix2_v(states, nb), up)
+        return values, values
+
+    def apply_grid(self, states, updates):
+        return mix2_v(states, updates)
+
+
+class Dataflow2DProgram(Program2D):
+    """Memoryless 2-D stencil (dataflow model, for contrast)."""
+
+    name = "dataflow2d"
+    uses_database = False
+
+    def init_state(self, r: int, c: int) -> int:
+        return 0
+
+    def compute(self, r, c, t, state, north, south, west, east, up):
+        value = mix2_s(mix4_s(north, south, west, east), up)
+        return value, 0
+
+    def apply(self, state, update):
+        return state
+
+    def init_state_grid(self, m):
+        return np.zeros((m, m), dtype=np.uint64)
+
+    def compute_grid(self, t, states, north, south, west, east, up):
+        values = mix2_v(mix4_v(north, south, west, east), up)
+        return values, np.zeros_like(values)
+
+    def apply_grid(self, states, updates):
+        return states
+
+
+def initial_value_2d(r: int, c: int) -> int:
+    """Row-0 pebble value of cell ``(r, c)``."""
+    return tag_s(0x1418, r, c)
+
+
+def frame_value(r: int, c: int, t: int) -> int:
+    """Boundary-frame pebble value at frame cell ``(r, c)`` and step t."""
+    return tag_s(0xF7A, r, c, t)
+
+
+@dataclass
+class ReferenceRun2D:
+    """Ground truth for ``T`` steps of an ``m x m`` guest.
+
+    ``values[t]`` is the ``(m+2, m+2)`` framed grid at step ``t``.
+    """
+
+    m: int
+    steps: int
+    values: np.ndarray  # (T+1, m+2, m+2) uint64
+    update_digests: np.ndarray  # (m, m)
+    state_digests: np.ndarray  # (m, m)
+
+    def pebble(self, r: int, c: int, t: int) -> int:
+        """Value of pebble ``(r, c, t)`` (1-based interior coords)."""
+        return int(self.values[t, r, c])
+
+
+class Guest2D:
+    """An ``m x m`` guest array with unit delays."""
+
+    def __init__(self, m: int, program: Program2D) -> None:
+        if m < 1:
+            raise ValueError(f"guest side must be >= 1, got {m}")
+        self.m = m
+        self.program = program
+
+    def framed_grid(self, t: int) -> np.ndarray:
+        """An ``(m+2, m+2)`` frame filled for step ``t`` (interior zero)."""
+        m = self.m
+        g = np.zeros((m + 2, m + 2), dtype=np.uint64)
+        for c in range(m + 2):
+            g[0, c] = frame_value(0, c, t)
+            g[m + 1, c] = frame_value(m + 1, c, t)
+        for r in range(1, m + 1):
+            g[r, 0] = frame_value(r, 0, t)
+            g[r, m + 1] = frame_value(r, m + 1, t)
+        return g
+
+    def run_reference(self, steps: int) -> ReferenceRun2D:
+        """Execute ``steps`` guest steps directly; return ground truth."""
+        m, prog = self.m, self.program
+        values = np.zeros((steps + 1, m + 2, m + 2), dtype=np.uint64)
+        g0 = self.framed_grid(0)
+        rr = np.arange(1, m + 1)
+        for r in rr:
+            for c in range(1, m + 1):
+                g0[r, c] = initial_value_2d(r, c)
+        values[0] = g0
+        states = prog.init_state_grid(m)
+        digests = np.empty((m, m), dtype=np.uint64)
+        db_seed = np.uint64(tag_s(0xDB2))
+        rgrid = np.broadcast_to(
+            np.arange(1, m + 1, dtype=np.uint64)[:, None], (m, m)
+        )
+        cgrid = np.broadcast_to(
+            np.arange(1, m + 1, dtype=np.uint64)[None, :], (m, m)
+        )
+        digests = mix2_v(mix2_v(np.broadcast_to(db_seed, (m, m)), rgrid), cgrid)
+        for t in range(1, steps + 1):
+            prev = values[t - 1]
+            cur = self.framed_grid(t)
+            north = prev[0:m, 1 : m + 1]
+            south = prev[2 : m + 2, 1 : m + 1]
+            west = prev[1 : m + 1, 0:m]
+            east = prev[1 : m + 1, 2 : m + 2]
+            up = prev[1 : m + 1, 1 : m + 1]
+            vals, updates = prog.compute_grid(t, states, north, south, west, east, up)
+            cur[1 : m + 1, 1 : m + 1] = vals
+            values[t] = cur
+            states = prog.apply_grid(states, updates)
+            digests = mix2_v(digests, updates)
+        return ReferenceRun2D(m, steps, values, digests, np.asarray(states))
+
+
+def db2_digest_seed(r: int, c: int) -> int:
+    """Initial update-digest of cell ``(r, c)`` — matches the reference."""
+    return mix2_s(mix2_s(tag_s(0xDB2), r), c)

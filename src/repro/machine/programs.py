@@ -1,0 +1,382 @@
+"""Concrete guest programs for the database model.
+
+A :class:`Program` defines what pebble ``(i, t)`` computes: a pure
+function of the column's database state and the three parent pebbles,
+returning a 64-bit *value* (recorded in the pebble) and a 64-bit
+*update* (applied to the database, and shipped inside the pebble so
+remote replicas can stay consistent).
+
+Programs are deterministic, so the verifier can compare a distributed
+run against the direct reference execution bit-for-bit, and replicas of
+the same database can be checked for divergence.
+
+The zoo spans the regimes the paper contrasts:
+
+``counter``
+    The flagship *database-model* program: the value mixes the database
+    state with all three parents, and the state absorbs every value.
+    Computation genuinely requires the right database (Sec. 2's point
+    that the database model is harder than dataflow).
+``dataflow``
+    The memoryless model of the companion paper [2]: no database at
+    all.  Used to reproduce the paper's dataflow-vs-database contrast.
+``keyed``
+    A small key-value store per column: reads/writes a parent-dependent
+    bucket.  Exercises non-word database state.
+``token``
+    Left-to-right token passing with a per-column counter: models
+    pipeline workloads.
+``hashchain``
+    Column-local hash chaining (no lateral dependence): the
+    communication-free extreme.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.machine.mixing import (
+    MASK,
+    fold_s,
+    mix2_s,
+    mix2_v,
+    mix4_s,
+    mix4_v,
+    tag_s,
+)
+
+
+class Program(ABC):
+    """Interface every guest program implements.
+
+    Scalar methods (`compute`, `apply`) are used by the event-driven
+    distributed executors; the optional vector methods (`*_vec`) are
+    used by the reference executor to compute a whole guest row per
+    step.  ``tests/test_programs.py`` asserts the two paths agree.
+    """
+
+    #: short registry name
+    name: str = "abstract"
+    #: False for pure dataflow programs (empty database)
+    uses_database: bool = True
+    #: True when the ``*_vec`` methods are implemented
+    supports_vector: bool = False
+
+    # -- scalar path ---------------------------------------------------
+    @abstractmethod
+    def init_state(self, i: int) -> Any:
+        """Initial database state of column ``i`` (before step 1)."""
+
+    @abstractmethod
+    def compute(
+        self, i: int, t: int, state: Any, left: int, up: int, right: int
+    ) -> tuple[int, int]:
+        """Return ``(value, update)`` of pebble ``(i, t)``.
+
+        Must not mutate ``state`` — the caller applies the update via
+        :meth:`apply` so replicas share one code path.
+        """
+
+    @abstractmethod
+    def apply(self, state: Any, update: int) -> Any:
+        """Return the state after applying ``update`` (pure)."""
+
+    def state_digest(self, state: Any) -> int:
+        """64-bit digest of a database state (for replica checks)."""
+        if isinstance(state, int):
+            return state
+        raise NotImplementedError
+
+    # -- vector path (optional) ----------------------------------------
+    def init_state_vec(self, m: int) -> np.ndarray:
+        """States of columns ``1..m`` as a uint64 array."""
+        raise NotImplementedError(f"{self.name} has no vector path")
+
+    def compute_row_vec(
+        self,
+        t: int,
+        states: np.ndarray,
+        left: np.ndarray,
+        up: np.ndarray,
+        right: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`compute` over one guest row."""
+        raise NotImplementedError(f"{self.name} has no vector path")
+
+    def apply_vec(self, states: np.ndarray, updates: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`apply` over one guest row."""
+        raise NotImplementedError(f"{self.name} has no vector path")
+
+
+class CounterProgram(Program):
+    """Word-state database program: state absorbs every pebble value."""
+
+    name = "counter"
+    uses_database = True
+    supports_vector = True
+
+    def init_state(self, i: int) -> int:
+        return tag_s(0xC0, i)
+
+    def compute(self, i, t, state, left, up, right):
+        value = mix4_s(state, left, up, right)
+        return value, value
+
+    def apply(self, state, update):
+        return mix2_s(state, update)
+
+    def init_state_vec(self, m):
+        cols = np.arange(1, m + 1, dtype=np.uint64)
+        return mix2_v(np.uint64(tag_s(0xC0)), cols)
+
+    def compute_row_vec(self, t, states, left, up, right):
+        values = mix4_v(states, left, up, right)
+        return values, values
+
+    def apply_vec(self, states, updates):
+        return mix2_v(states, updates)
+
+
+class DataflowProgram(Program):
+    """Memoryless dataflow program (the model of the companion paper)."""
+
+    name = "dataflow"
+    uses_database = False
+    supports_vector = True
+
+    def init_state(self, i: int) -> int:
+        return 0
+
+    def compute(self, i, t, state, left, up, right):
+        value = mix2_s(mix2_s(left, up), right)
+        return value, 0
+
+    def apply(self, state, update):
+        return state
+
+    def init_state_vec(self, m):
+        return np.zeros(m, dtype=np.uint64)
+
+    def compute_row_vec(self, t, states, left, up, right):
+        values = mix2_v(mix2_v(left, up), right)
+        return values, np.zeros_like(values)
+
+    def apply_vec(self, states, updates):
+        return states
+
+
+class TokenProgram(Program):
+    """Left-to-right pipeline with a per-column step counter."""
+
+    name = "token"
+    uses_database = True
+    supports_vector = True
+
+    def init_state(self, i: int) -> int:
+        return tag_s(0x70, i)
+
+    def compute(self, i, t, state, left, up, right):
+        value = mix2_s(left, state)
+        return value, 1
+
+    def apply(self, state, update):
+        return (state + update) & MASK
+
+    def init_state_vec(self, m):
+        cols = np.arange(1, m + 1, dtype=np.uint64)
+        return mix2_v(np.uint64(tag_s(0x70)), cols)
+
+    def compute_row_vec(self, t, states, left, up, right):
+        values = mix2_v(left, states)
+        return values, np.ones_like(values)
+
+    def apply_vec(self, states, updates):
+        return states + updates  # uint64 wrap-around == mod 2^64
+
+    def state_digest(self, state):
+        return state
+
+
+class HashChainProgram(Program):
+    """Column-local hash chain: no lateral dependence at all."""
+
+    name = "hashchain"
+    uses_database = True
+    supports_vector = True
+
+    def init_state(self, i: int) -> int:
+        return tag_s(0x4C, i)
+
+    def compute(self, i, t, state, left, up, right):
+        value = mix2_s(state, up)
+        return value, value
+
+    def apply(self, state, update):
+        return mix2_s(state, update)
+
+    def init_state_vec(self, m):
+        cols = np.arange(1, m + 1, dtype=np.uint64)
+        return mix2_v(np.uint64(tag_s(0x4C)), cols)
+
+    def compute_row_vec(self, t, states, left, up, right):
+        values = mix2_v(states, up)
+        return values, values
+
+    def apply_vec(self, states, updates):
+        return mix2_v(states, updates)
+
+
+class RelaxationProgram(Program):
+    """Weighted-stencil relaxation with a local accumulator.
+
+    The value is an integer Jacobi-style combination ``3*left + 5*up +
+    7*right + state`` (mod 2^64) — the "linear relaxation" class the
+    paper cites as a motivating out-of-core workload [11] — and the
+    database accumulates a running checksum of the iterates.  Fully
+    vectorised, so it doubles as a numerics-flavoured load for the
+    reference executor.
+    """
+
+    name = "relax"
+    uses_database = True
+    supports_vector = True
+
+    def init_state(self, i: int) -> int:
+        return tag_s(0x12E, i)
+
+    def compute(self, i, t, state, left, up, right):
+        value = (3 * left + 5 * up + 7 * right + state) & MASK
+        return value, value
+
+    def apply(self, state, update):
+        return (state + (update >> 1)) & MASK
+
+    def init_state_vec(self, m):
+        cols = np.arange(1, m + 1, dtype=np.uint64)
+        return mix2_v(np.uint64(tag_s(0x12E)), cols)
+
+    def compute_row_vec(self, t, states, left, up, right):
+        with np.errstate(over="ignore"):
+            values = (
+                np.uint64(3) * left
+                + np.uint64(5) * up
+                + np.uint64(7) * right
+                + states
+            )
+        return values, values
+
+    def apply_vec(self, states, updates):
+        with np.errstate(over="ignore"):
+            return states + (updates >> np.uint64(1))
+
+
+class LedgerProgram(Program):
+    """A bank-ledger database: structured per-column account state.
+
+    Each column's database is a ledger of ``A`` account balances plus a
+    transaction counter.  A step derives (account, amount) from the
+    parents, posts the transaction, and emits a value mixing the
+    touched balance — the "updates of large local memories or
+    databases" workload the paper's introduction motivates, with state
+    that is genuinely structural (not a single word).
+    """
+
+    name = "ledger"
+    uses_database = True
+    supports_vector = False
+    A = 8  # accounts per ledger
+
+    def init_state(self, i: int) -> dict:
+        return {
+            "balances": [tag_s(0xBA, i, a) % 10**6 for a in range(self.A)],
+            "count": 0,
+        }
+
+    def compute(self, i, t, state, left, up, right):
+        src = (left ^ up) % self.A
+        dst = (up ^ right) % self.A
+        amount = mix2_s(left, right) % 997
+        value = mix4_s(
+            state["balances"][src] + (state["count"] << 20),
+            left,
+            up,
+            right,
+        )
+        update = ((amount & 0x3FF) << 8) | (src << 4) | dst
+        return value, update
+
+    def apply(self, state, update):
+        src = (update >> 4) & 0xF
+        dst = update & 0xF
+        amount = (update >> 8) & 0x3FF
+        balances = list(state["balances"])
+        balances[src % self.A] = (balances[src % self.A] - amount) & MASK
+        balances[dst % self.A] = (balances[dst % self.A] + amount) & MASK
+        return {"balances": balances, "count": state["count"] + 1}
+
+    def state_digest(self, state):
+        return fold_s([*state["balances"], state["count"]])
+
+
+class KeyedStoreProgram(Program):
+    """Per-column key-value store with ``K`` buckets.
+
+    The bucket consulted depends on the parents, so the database read
+    is data-dependent — the strongest form of "computation can only be
+    done by processors with the right database".
+    """
+
+    name = "keyed"
+    uses_database = True
+    supports_vector = False
+    K = 16
+
+    def init_state(self, i: int) -> list[int]:
+        return [tag_s(0x5E, i, k) for k in range(self.K)]
+
+    def compute(self, i, t, state, left, up, right):
+        key = (left ^ up ^ right) % self.K
+        value = mix4_s(state[key], left, up, right)
+        update = (value & ~(self.K - 1) & MASK) | key
+        return value, update
+
+    def apply(self, state, update):
+        key = update & (self.K - 1)
+        new = list(state)
+        new[key] = mix2_s(new[key], update)
+        return new
+
+    def state_digest(self, state):
+        return fold_s(state)
+
+
+_REGISTRY: dict[str, type[Program]] = {
+    p.name: p
+    for p in (
+        CounterProgram,
+        DataflowProgram,
+        TokenProgram,
+        HashChainProgram,
+        KeyedStoreProgram,
+        LedgerProgram,
+        RelaxationProgram,
+    )
+}
+
+
+def get_program(name: str) -> Program:
+    """Instantiate a registered program by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_programs() -> list[str]:
+    """Names of all registered programs."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,157 @@
+"""Message fabrics: the glue between links, routing and executors.
+
+Two fabrics are provided.
+
+:class:`Fabric`
+    General-graph fabric.  Each undirected edge of a ``networkx`` host
+    graph gets two :class:`~repro.netsim.links.LinkPipe` instances (one
+    per direction).  Executors move a message hop by hop, calling
+    :meth:`Fabric.hop` at each intermediate node; the fabric handles
+    slot allocation and returns the arrival time at the next node.
+
+:class:`LineFabric`
+    Fast path for linear-array hosts — the workhorse of algorithm
+    OVERLAP, which (after the Fact-3 embedding) always runs on an array.
+    Positions are ``0..n-1``; link ``j`` connects positions ``j`` and
+    ``j+1``.  The fabric exposes whole-route sends along the array with
+    per-link pipelining, which is what the executors actually need.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.netsim.links import LinkPipe
+from repro.netsim.routing import DELAY_ATTR, Router
+
+
+class Fabric:
+    """Bidirectional pipelined fabric over an arbitrary connected graph."""
+
+    def __init__(
+        self, graph: nx.Graph, bandwidth: int = 1, delay_attr: str = DELAY_ATTR
+    ) -> None:
+        self.router = Router(graph, delay_attr)
+        self.graph = graph
+        self.bandwidth = bandwidth
+        self._pipes: dict[tuple[Hashable, Hashable], LinkPipe] = {}
+        for u, v, data in graph.edges(data=True):
+            d = int(data[delay_attr])
+            self._pipes[(u, v)] = LinkPipe(d, bandwidth)
+            self._pipes[(v, u)] = LinkPipe(d, bandwidth)
+
+    def pipe(self, u: Hashable, v: Hashable) -> LinkPipe:
+        """The directed pipe from ``u`` to its neighbour ``v``."""
+        try:
+            return self._pipes[(u, v)]
+        except KeyError:
+            raise KeyError(f"({u},{v}) is not a link of the host") from None
+
+    def hop(self, u: Hashable, v: Hashable, t_ready: int) -> int:
+        """Inject one pebble into link ``u -> v``; return arrival time."""
+        return self.pipe(u, v).inject(t_ready)
+
+    def route(self, src: Hashable, dst: Hashable) -> list[Hashable]:
+        """Shortest-delay route as a node list."""
+        return self.router.path(src, dst)
+
+    def route_delay(self, src: Hashable, dst: Hashable) -> int:
+        """Sum of delays along :meth:`route` (uncontended transit time)."""
+        return self.router.delay(src, dst)
+
+    def send_along(self, path: Sequence[Hashable], t_ready: int) -> int:
+        """Send one pebble along an explicit path, hop by hop, with no
+        store-and-forward overhead beyond slot contention.
+
+        This is a *closed-form* convenience for explicit schedules; the
+        event-driven executors instead call :meth:`hop` per hop so that
+        contention from interleaved traffic is modelled exactly.
+        """
+        t = t_ready
+        for u, v in zip(path, path[1:]):
+            t = self.hop(u, v, t)
+        return t
+
+    def reset(self) -> None:
+        """Reset every pipe to idle (between repeated runs)."""
+        for pipe in self._pipes.values():
+            pipe.reset()
+
+    @property
+    def total_injections(self) -> int:
+        """Pebble-hops across all pipes (a bandwidth-usage metric)."""
+        return sum(p.injected for p in self._pipes.values())
+
+
+class LineFabric:
+    """Pipelined fabric specialised to a linear-array host.
+
+    Parameters
+    ----------
+    link_delays:
+        ``link_delays[j]`` is the delay of the link between positions
+        ``j`` and ``j+1``; the array therefore has ``len(link_delays)+1``
+        positions.
+    bandwidth:
+        Per-direction pebbles/step on every link.
+    """
+
+    RIGHT = +1
+    LEFT = -1
+
+    def __init__(self, link_delays: Sequence[int], bandwidth: int = 1) -> None:
+        if any(d < 1 for d in link_delays):
+            raise ValueError("all link delays must be >= 1")
+        self.link_delays = [int(d) for d in link_delays]
+        self.n = len(self.link_delays) + 1
+        self.bandwidth = bandwidth
+        self._right = [LinkPipe(d, bandwidth) for d in self.link_delays]
+        self._left = [LinkPipe(d, bandwidth) for d in self.link_delays]
+        # Prefix sums of delays for O(1) distance queries.
+        self._prefix = [0]
+        for d in self.link_delays:
+            self._prefix.append(self._prefix[-1] + d)
+
+    def hop(self, pos: int, direction: int, t_ready: int) -> int:
+        """Inject a pebble at ``pos`` heading ``direction`` (+1 right,
+        -1 left); return its arrival time at the adjacent position."""
+        if direction == self.RIGHT:
+            return self._right[pos].inject(t_ready)
+        if direction == self.LEFT:
+            return self._left[pos - 1].inject(t_ready)
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+
+    def distance(self, a: int, b: int) -> int:
+        """Total (uncontended) delay between positions ``a`` and ``b``."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        return self._prefix[hi] - self._prefix[lo]
+
+    def total_delay(self) -> int:
+        """Sum of all link delays (== n * d_ave up to rounding)."""
+        return self._prefix[-1]
+
+    def average_delay(self) -> float:
+        """Average link delay d_ave of the array."""
+        if not self.link_delays:
+            return 0.0
+        return self.total_delay() / len(self.link_delays)
+
+    def max_delay(self) -> int:
+        """Maximum link delay d_max of the array."""
+        return max(self.link_delays, default=0)
+
+    def reset(self) -> None:
+        """Reset all pipes to idle (between repeated runs)."""
+        for pipe in self._right:
+            pipe.reset()
+        for pipe in self._left:
+            pipe.reset()
+
+    @property
+    def total_injections(self) -> int:
+        """Pebble-hops across both directions of every link."""
+        return sum(p.injected for p in self._right) + sum(
+            p.injected for p in self._left
+        )

@@ -1,0 +1,68 @@
+"""Shortest-delay routing over ``networkx`` host graphs.
+
+Hosts in the paper are fixed-connection networks with a static delay on
+each link, so routes never change during a simulation.  The router
+computes shortest paths under the ``delay`` edge attribute lazily and
+caches them; for the sizes used here (up to a few thousand nodes) a
+per-source Dijkstra on first use is cheap and avoids the O(n^2) memory
+of an all-pairs table.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+DELAY_ATTR = "delay"
+
+
+class Router:
+    """Static shortest-delay-path router with per-source caching."""
+
+    def __init__(self, graph: nx.Graph, delay_attr: str = DELAY_ATTR) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("cannot route over an empty graph")
+        if not nx.is_connected(graph):
+            raise ValueError("host graph must be connected")
+        for u, v, data in graph.edges(data=True):
+            d = data.get(delay_attr)
+            if d is None:
+                raise ValueError(f"edge ({u},{v}) missing '{delay_attr}' attribute")
+            if d < 1:
+                raise ValueError(f"edge ({u},{v}) has delay {d} < 1")
+        self.graph = graph
+        self.delay_attr = delay_attr
+        self._paths: dict[Hashable, dict[Hashable, list[Hashable]]] = {}
+        self._dists: dict[Hashable, dict[Hashable, int]] = {}
+
+    def _ensure_source(self, src: Hashable) -> None:
+        if src in self._paths:
+            return
+        dist, paths = nx.single_source_dijkstra(
+            self.graph, src, weight=self.delay_attr
+        )
+        self._paths[src] = paths
+        self._dists[src] = dist
+
+    def path(self, src: Hashable, dst: Hashable) -> list[Hashable]:
+        """Node sequence of a shortest-delay path, inclusive of endpoints."""
+        self._ensure_source(src)
+        try:
+            return self._paths[src][dst]
+        except KeyError:
+            raise nx.NetworkXNoPath(f"no path {src} -> {dst}") from None
+
+    def delay(self, src: Hashable, dst: Hashable) -> int:
+        """Total delay along the shortest-delay path."""
+        self._ensure_source(src)
+        return self._dists[src][dst]
+
+    def hops(self, src: Hashable, dst: Hashable) -> int:
+        """Number of links on the chosen path."""
+        return len(self.path(src, dst)) - 1
+
+    def invalidate(self) -> None:
+        """Drop caches (after mutating the graph's delays)."""
+        self._paths.clear()
+        self._dists.clear()

@@ -1,0 +1,67 @@
+"""Run statistics shared by all executors.
+
+A single mutable :class:`SimStats` instance is threaded through a run
+and summarises everything the analysis layer needs: how long the run
+took (``makespan``), how much computation happened (``pebbles``, with
+``redundant`` counting recomputations beyond the first), and how much
+communication happened (``messages`` end-to-end, ``pebble_hops`` per
+link traversal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters for one simulation run."""
+
+    makespan: int = 0
+    pebbles: int = 0
+    redundant: int = 0
+    messages: int = 0
+    pebble_hops: int = 0
+    idle_steps: int = 0
+    procs_used: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def slowdown(self, guest_steps: int) -> float:
+        """Host steps per guest step: the paper's central metric."""
+        if guest_steps <= 0:
+            raise ValueError("guest_steps must be positive")
+        return self.makespan / guest_steps
+
+    def work(self) -> int:
+        """Total pebble computations performed by the host."""
+        return self.pebbles
+
+    def redundancy_factor(self) -> float:
+        """Computed pebbles per distinct pebble (1.0 == no redundancy)."""
+        distinct = self.pebbles - self.redundant
+        if distinct <= 0:
+            return float("nan")
+        return self.pebbles / distinct
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another run's counters into this one (sweeps)."""
+        self.makespan = max(self.makespan, other.makespan)
+        self.pebbles += other.pebbles
+        self.redundant += other.redundant
+        self.messages += other.messages
+        self.pebble_hops += other.pebble_hops
+        self.idle_steps += other.idle_steps
+        self.procs_used = max(self.procs_used, other.procs_used)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for report tables."""
+        return {
+            "makespan": self.makespan,
+            "pebbles": self.pebbles,
+            "redundant": self.redundant,
+            "messages": self.messages,
+            "pebble_hops": self.pebble_hops,
+            "idle_steps": self.idle_steps,
+            "procs_used": self.procs_used,
+            **self.extras,
+        }

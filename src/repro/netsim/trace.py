@@ -1,0 +1,120 @@
+"""Execution tracing: space-time records of a simulation run.
+
+A :class:`Trace` collects ``(time, position, column, row)`` records as
+pebbles complete, enabling the analyses the paper reasons about
+qualitatively:
+
+* **wavefront progress** — when each guest row is fully simulated
+  (first copy), i.e. the realised per-row slowdown profile; the
+  OVERLAP schedule predicts bursts separated by ``D_k``-sized pauses
+  at box boundaries;
+* **processor utilisation** — busy fraction per host position,
+  exposing where killing/assignment leaves idle capacity;
+* **ASCII space-time diagrams** — a quick terminal picture of which
+  part of the host is computing when (positions on the x-axis, time
+  bucketed on the y-axis).
+
+Tracing is opt-in (pass ``trace=Trace()`` to the executor) and adds a
+single append per pebble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Trace:
+    """Pebble-completion records of one run."""
+
+    records: list[tuple[int, int, int, int]] = field(default_factory=list)
+
+    def record(self, time: int, position: int, column: int, row: int) -> None:
+        """Append one pebble completion (called by the executor)."""
+        self.records.append((time, position, column, row))
+
+    @property
+    def makespan(self) -> int:
+        """Latest completion time seen."""
+        return max((r[0] for r in self.records), default=0)
+
+    def row_completion_times(self) -> dict[int, int]:
+        """Guest row -> time when *every column* of that row has been
+        computed at least once (the wavefront)."""
+        # earliest completion per (col, row), then max over cols per row
+        earliest: dict[tuple[int, int], int] = {}
+        for time, _p, col, row in self.records:
+            key = (col, row)
+            if key not in earliest or time < earliest[key]:
+                earliest[key] = time
+        out: dict[int, int] = {}
+        for (col, row), time in earliest.items():
+            if row not in out or time > out[row]:
+                out[row] = time
+        return out
+
+    def per_row_slowdown(self) -> list[tuple[int, int]]:
+        """(row, incremental host steps to finish it) — the realised
+        per-row slowdown profile, bursty under OVERLAP."""
+        times = self.row_completion_times()
+        out = []
+        prev = 0
+        for row in sorted(times):
+            out.append((row, times[row] - prev))
+            prev = times[row]
+        return out
+
+    def utilization(self, positions: list[int] | None = None) -> dict[int, float]:
+        """Busy fraction per position (pebbles computed / makespan)."""
+        span = max(1, self.makespan)
+        counts: dict[int, int] = {}
+        for _time, p, _c, _r in self.records:
+            counts[p] = counts.get(p, 0) + 1
+        if positions is None:
+            positions = sorted(counts)
+        return {p: counts.get(p, 0) / span for p in positions}
+
+    def spacetime_ascii(
+        self, n_positions: int, width: int = 64, height: int = 16
+    ) -> str:
+        """Render an ASCII space-time diagram.
+
+        x-axis: host positions (bucketed to ``width``); y-axis: time
+        (bucketed to ``height``, earliest at the top); glyph: activity
+        density (`` .:-=+*#%@`` from idle to saturated).
+        """
+        if not self.records:
+            return "(empty trace)"
+        span = self.makespan + 1
+        width = min(width, n_positions)
+        height = min(height, span)
+        grid = [[0] * width for _ in range(height)]
+        for time, p, _c, _r in self.records:
+            x = min(width - 1, p * width // n_positions)
+            y = min(height - 1, time * height // span)
+            grid[y][x] += 1
+        peak = max(max(row) for row in grid) or 1
+        glyphs = " .:-=+*#%@"
+        lines = []
+        for y, row in enumerate(grid):
+            t_lo = y * span // height
+            cells = "".join(
+                glyphs[min(len(glyphs) - 1, cell * (len(glyphs) - 1) // peak)]
+                for cell in row
+            )
+            lines.append(f"t={t_lo:>6} |{cells}|")
+        return "\n".join(lines)
+
+    def summary(self) -> dict:
+        """Headline numbers for reports."""
+        util = self.utilization()
+        rows = self.row_completion_times()
+        return {
+            "pebbles": len(self.records),
+            "makespan": self.makespan,
+            "positions_active": len(util),
+            "mean_utilization": (
+                round(sum(util.values()) / len(util), 4) if util else 0.0
+            ),
+            "rows_completed": len(rows),
+        }

@@ -1,0 +1,59 @@
+"""Host topologies, delay models and embeddings.
+
+Everything the paper assumes about the host side lives here:
+
+* :mod:`generators` — host networks: arrays, rings, meshes, trees,
+  hypercubes, random regular graphs, NOW-style clustered hosts, the
+  clique-chain counterexample of Section 4, and the adversarial hosts
+  ``H1`` / ``H2`` of Section 6.
+* :mod:`delays` — link-delay models (constant, uniform, bimodal NOW,
+  heavy-tail Pareto) with exact rescaling to a target ``d_ave``.
+* :mod:`embedding` — Fact 3: a one-to-one dilation-3 embedding of the
+  linear array into any connected host (Sekanina's tree-cube
+  Hamiltonian-path construction), with induced array delays.
+"""
+
+from repro.topology.delays import (
+    bimodal_delays,
+    constant_delays,
+    pareto_delays,
+    scale_to_average,
+    uniform_delays,
+)
+from repro.topology.embedding import ArrayEmbedding, embed_linear_array, tree_cube_order
+from repro.topology.generators import (
+    butterfly_host,
+    clique_chain_host,
+    h1_host,
+    h2_host,
+    hypercube_host,
+    mesh_host,
+    now_cluster_host,
+    random_regular_host,
+    ring_host,
+    tree_host,
+)
+from repro.topology.presets import PRESETS, get_preset
+
+__all__ = [
+    "constant_delays",
+    "uniform_delays",
+    "bimodal_delays",
+    "pareto_delays",
+    "scale_to_average",
+    "ArrayEmbedding",
+    "embed_linear_array",
+    "tree_cube_order",
+    "ring_host",
+    "butterfly_host",
+    "mesh_host",
+    "tree_host",
+    "hypercube_host",
+    "random_regular_host",
+    "now_cluster_host",
+    "clique_chain_host",
+    "h1_host",
+    "h2_host",
+    "PRESETS",
+    "get_preset",
+]

@@ -1,0 +1,85 @@
+"""Named host presets — realistic NOW configurations for examples,
+benches and quick CLI runs.
+
+Each preset captures a deployment archetype the paper's introduction
+gestures at, with reproducible delays (seeded):
+
+``campus``
+    Workstations on a few LAN segments bridged by slower links.
+``wan``
+    Clusters joined by long-haul links with heavy-tailed delays — the
+    "some processors can be far apart physically" case.
+``smp-cluster``
+    Tightly-coupled nodes (near-zero internal latency) in racks, a
+    switch hop between racks — "part of the same tightly-coupled
+    parallel machine".
+``dialup-outlier``
+    A mostly-fast array with one terrible member — the adversarial
+    single-link case where redundancy shines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.host import HostArray, HostGraph
+from repro.topology.delays import bimodal_delays, pareto_delays
+from repro.topology.generators import now_cluster_host
+
+
+def campus(n: int = 96, seed: int = 0) -> HostArray:
+    """LAN segments (delay 1) bridged every 16 machines (delay 20)."""
+    delays = []
+    for j in range(1, n):
+        delays.append(20 if j % 16 == 0 else 1)
+    return HostArray(delays, name=f"campus(n={n})")
+
+
+def wan(n: int = 128, seed: int = 0) -> HostArray:
+    """Heavy-tailed wide-area delays (Pareto, capped)."""
+    rng = np.random.default_rng(seed)
+    return HostArray(
+        pareto_delays(n - 1, rng, alpha=1.1, cap=16 * n),
+        name=f"wan(n={n},seed={seed})",
+    )
+
+
+def smp_cluster(racks: int = 8, per_rack: int = 8, switch_delay: int = 32) -> HostGraph:
+    """Racks of tightly-coupled nodes joined by switch links."""
+    return now_cluster_host(
+        racks, per_rack, intra_delay=1, inter_delay=switch_delay,
+        name=f"smp({racks}x{per_rack})",
+    )
+
+
+def dialup_outlier(n: int = 128, bad_delay: int = 1024) -> HostArray:
+    """A fast array with one dreadful link in the middle."""
+    delays = [1] * (n - 1)
+    delays[n // 2 - 1] = bad_delay
+    return HostArray(delays, name=f"outlier(n={n},bad={bad_delay})")
+
+
+def mixed_now(n: int = 128, seed: int = 0) -> HostArray:
+    """Bimodal LAN/WAN mix (the E-series workhorse)."""
+    rng = np.random.default_rng(seed)
+    return HostArray(
+        bimodal_delays(n - 1, rng, near=1, far=n, p_far=0.04),
+        name=f"mixed(n={n},seed={seed})",
+    )
+
+
+PRESETS = {
+    "campus": campus,
+    "wan": wan,
+    "smp-cluster": smp_cluster,
+    "dialup-outlier": dialup_outlier,
+    "mixed-now": mixed_now,
+}
+
+
+def get_preset(name: str, **kwargs):
+    """Instantiate a preset host by name."""
+    try:
+        return PRESETS[name](**kwargs)
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; available: {sorted(PRESETS)}") from None

@@ -1,0 +1,122 @@
+"""Analysis layer: metrics, scaling fits, report tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    advantage,
+    efficiency,
+    normalized_slowdown,
+    polylog,
+    slowdown,
+)
+from repro.analysis.report import format_table, print_kv, print_table
+from repro.analysis.scaling import (
+    crossover_point,
+    fit_power_law,
+    geometric_mean,
+    ratio_table,
+)
+
+
+class TestMetrics:
+    def test_slowdown(self):
+        assert slowdown(100, 10) == 10.0
+        with pytest.raises(ValueError):
+            slowdown(100, 0)
+
+    def test_efficiency(self):
+        assert efficiency(80, 10, 8) == 1.0
+        with pytest.raises(ValueError):
+            efficiency(1, 0, 2)
+
+    def test_normalized_slowdown(self):
+        assert normalized_slowdown(10, 4) == 5.0
+        assert normalized_slowdown(12, 4, exponent=1.0) == 3.0
+
+    def test_polylog(self):
+        assert polylog(256, 1) == 8.0
+        assert polylog(256, 3) == 512.0
+        assert polylog(1) == 1.0
+
+    def test_advantage(self):
+        assert advantage(100, 4) == 25.0
+
+
+class TestScaling:
+    def test_fit_exact_power_law(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x**0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.coeff == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(100) == pytest.approx(30.0)
+
+    def test_fit_with_noise_keeps_r2_high(self):
+        xs = [2.0**k for k in range(8)]
+        ys = [5 * x**1.0 * (1.1 if k % 2 else 0.9) for k, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert 0.9 <= fit.exponent <= 1.1
+        assert fit.r_squared > 0.95
+
+    def test_fit_validations(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [2])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 1])
+
+    def test_ratio_table(self):
+        rows = ratio_table([1, 4], [2, 4], math.sqrt)
+        assert rows[0] == (1, 2, 2.0)
+        assert rows[1] == (4, 4, 2.0)
+
+    def test_crossover(self):
+        xs = [1, 2, 3, 4]
+        a = [10, 8, 3, 1]
+        b = [4, 4, 4, 4]
+        assert crossover_point(xs, a, b) == 3
+        assert crossover_point(xs, [9] * 4, [1] * 4) is None
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1, -1])
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 200, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_values(self):
+        rows = [{"f": 0.00001, "big": 123456.0, "flag": True, "z": 0.0}]
+        text = format_table(rows)
+        assert "1e-05" in text
+        assert "yes" in text
+        assert "0" in text
+
+    def test_print_helpers_smoke(self, capsys):
+        print_table([{"x": 1}], title="T")
+        print_kv({"k": 2}, title="K")
+        out = capsys.readouterr().out
+        assert "== T ==" in out
+        assert "== K ==" in out
+        assert "k: 2" in out

@@ -1,0 +1,59 @@
+"""ASCII plotting utilities."""
+
+import pytest
+
+from repro.analysis.asciiplot import ascii_bars, ascii_plot
+
+
+def test_plot_renders_all_series():
+    out = ascii_plot(
+        [1, 10, 100],
+        {"a": [1, 10, 100], "b": [2, 2, 2]},
+        width=30,
+        height=8,
+    )
+    assert "o = a" in out
+    assert "x = b" in out
+    assert out.count("\n") >= 8
+
+
+def test_plot_power_law_is_diagonal():
+    xs = [1, 10, 100, 1000]
+    out = ascii_plot(xs, {"y": [2 * x for x in xs]}, width=20, height=10)
+    rows = [line.split("|", 1)[1] for line in out.splitlines() if "|" in line and "o" in line]
+    # Output rows go top (high y) to bottom (low y): for an increasing
+    # power law the x position decreases down the page.
+    cols = [row.index("o") for row in rows]
+    assert cols == sorted(cols, reverse=True)
+
+
+def test_plot_validations():
+    assert ascii_plot([], {}) == "(nothing to plot)"
+    with pytest.raises(ValueError):
+        ascii_plot([1, 2], {"a": [1]})
+    with pytest.raises(ValueError):
+        ascii_plot([0, 1], {"a": [1, 2]})  # log axis, zero x
+
+
+def test_plot_linear_axes():
+    out = ascii_plot([0, 1, 2], {"a": [0, 1, 2]}, logx=False, logy=False)
+    assert "o" in out
+
+
+def test_plot_title():
+    out = ascii_plot([1, 2], {"a": [1, 2]}, title="MY TITLE")
+    assert out.splitlines()[0] == "MY TITLE"
+
+
+def test_bars():
+    out = ascii_bars(["one", "two"], [1, 4], width=8, unit="x")
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") > lines[0].count("#")
+    assert "4x" in lines[1]
+
+
+def test_bars_validations():
+    assert ascii_bars([], []) == "(nothing to plot)"
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], [1, 2])

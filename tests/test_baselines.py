@@ -1,0 +1,105 @@
+"""Baseline strategies and their relationship to OVERLAP."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    lockstep_slowdown,
+    prior_efficient_processor_count,
+    simulate_lockstep_bound,
+    simulate_prior_efficient,
+    simulate_single_copy,
+    spread_assignment,
+    theoretical_overlap_advantage,
+)
+from repro.core.overlap import simulate_overlap
+from repro.machine.host import HostArray
+from repro.topology.generators import h1_host
+
+
+class TestSpreadAssignment:
+    def test_even_split(self):
+        asg = spread_assignment(4, 8)
+        assert asg.ranges == [(1, 2), (3, 4), (5, 6), (7, 8)]
+        assert asg.redundancy() == 1.0
+
+    def test_uneven_split(self):
+        asg = spread_assignment(3, 7)
+        widths = [hi - lo + 1 for lo, hi in asg.ranges]
+        assert sorted(widths) == [2, 2, 3]
+        asg.validate()
+
+    def test_subset_positions(self):
+        asg = spread_assignment(6, 6, positions=[0, 3, 5])
+        assert asg.ranges[1] is None
+        assert asg.ranges[3] == (3, 4)
+
+    def test_more_positions_than_columns(self):
+        asg = spread_assignment(5, 3)
+        used = asg.used_positions()
+        assert len(used) == 3
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            spread_assignment(0, 4)
+
+
+class TestSingleCopy:
+    def test_verified(self):
+        res = simulate_single_copy(HostArray.uniform(8, 2), steps=6)
+        assert res.verified
+        assert res.name == "single-copy"
+
+    def test_tracks_dmax_on_h1(self):
+        host = h1_host(64)
+        res = simulate_single_copy(host, steps=10)
+        # Theorem 9 regime: slowdown ~ d_max/2 or worse.
+        assert res.slowdown >= host.d_max / 2 - 1
+
+
+class TestLockstep:
+    def test_formula(self):
+        host = HostArray([1, 7, 3])
+        assert lockstep_slowdown(host) == 8
+        res = simulate_lockstep_bound(host, steps=5)
+        assert res.makespan == 5 * 8
+        assert res.slowdown == 8.0
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            simulate_lockstep_bound(HostArray([1]), steps=0)
+
+
+class TestPriorEfficient:
+    def test_uses_few_processors(self):
+        host = h1_host(64)  # d_max = 8
+        res = simulate_prior_efficient(host, steps=8)
+        assert res.verified
+        used = len(res.assignment.used_positions())
+        assert used <= max(1, 64 // 8) + 1
+
+    def test_processor_count_formula(self):
+        assert prior_efficient_processor_count(h1_host(64)) == 8
+
+    def test_beats_lockstep_sometimes(self):
+        # Amortising over big blocks beats paying d_max every step.
+        host = h1_host(144)  # d_max = 12
+        prior = simulate_prior_efficient(host, steps=12, verify=False)
+        assert prior.slowdown != lockstep_slowdown(host)
+
+
+class TestComparison:
+    def test_overlap_beats_single_copy_with_blocking(self):
+        """E9's headline: on a host with one huge link, blocked OVERLAP
+        beats every no-redundancy strategy."""
+        delays = [1] * 127
+        delays[63] = 2048
+        host = HostArray(delays)
+        single = simulate_single_copy(host, steps=16, verify=False)
+        blocked = simulate_overlap(host, steps=16, block=16, verify=False)
+        assert blocked.slowdown < single.slowdown
+
+    def test_advantage_formula(self):
+        host = HostArray([1] * 63 + [4096] + [1] * 63)
+        adv = theoretical_overlap_advantage(host)
+        assert adv > 0

@@ -1,0 +1,45 @@
+"""Constant calibration fits."""
+
+import pytest
+
+from repro.analysis.calibrate import (
+    LinearFit,
+    calibrate_theorem2,
+    calibrate_theorem4,
+    calibrate_theorem7_case2,
+    fit_linear,
+)
+
+
+def test_fit_linear_exact():
+    fit = fit_linear([1, 2, 3], [5, 7, 9])
+    assert fit.c1 == pytest.approx(2.0)
+    assert fit.c0 == pytest.approx(3.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(10) == pytest.approx(23.0)
+
+
+def test_fit_linear_validates():
+    with pytest.raises(ValueError):
+        fit_linear([1], [2])
+    with pytest.raises(ValueError):
+        fit_linear([1, 2], [3])
+
+
+def test_theorem4_constant_below_paper():
+    fit = calibrate_theorem4(d_values=(16, 64, 256))
+    assert isinstance(fit, LinearFit)
+    assert 0 < fit.c1 <= 5.0
+    assert fit.r_squared > 0.95
+
+
+def test_theorem2_linear_in_dave():
+    fit = calibrate_theorem2(d_values=(2, 4, 8, 16), n=64, steps=10)
+    assert fit.c1 > 0
+    assert fit.r_squared > 0.9
+
+
+def test_theorem7_constant_near_three():
+    fit = calibrate_theorem7_case2()
+    assert 0.5 <= fit.c1 <= 3.2
+    assert fit.r_squared > 0.9

@@ -1,0 +1,93 @@
+"""Theorems 5-6: the composed sqrt(d_ave) * polylog simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import fit_power_law
+from repro.core.composed import (
+    composed_assignment,
+    simulate_composed,
+    simulate_composed_on_graph,
+    theorem5_bound,
+)
+from repro.core.killing import kill_and_label
+from repro.machine.host import HostArray
+from repro.topology.delays import uniform_delays
+from repro.topology.generators import now_cluster_host
+
+
+def test_assignment_composes_contiguously():
+    host = HostArray.uniform(32, 9)
+    killing = kill_and_label(host)
+    asg = composed_assignment(killing, q=3)
+    asg.validate()
+    base = killing.n_prime
+    assert asg.m == base * 3
+    # Each position's guest range is ~3q wider than its base range * q.
+    for p, r in enumerate(asg.ranges):
+        if r is None:
+            continue
+        lo, hi = r
+        assert hi - lo + 1 >= 3  # at least q columns
+
+
+def test_q_must_be_positive():
+    host = HostArray.uniform(16, 4)
+    with pytest.raises(ValueError):
+        composed_assignment(kill_and_label(host), q=0)
+
+
+def test_end_to_end_verified():
+    res = simulate_composed(HostArray.uniform(48, 9), steps=6)
+    assert res.verified
+    assert res.q == 3
+    assert res.m == res.assignment.m
+    assert res.summary()["verified"]
+
+
+def test_sqrt_dave_scaling_shape():
+    ds, slows = [], []
+    for d in (4, 16, 64):
+        res = simulate_composed(HostArray.uniform(32, d), steps=None, verify=False)
+        ds.append(d)
+        slows.append(res.slowdown)
+    fit = fit_power_law(ds, slows)
+    # Theorem 5: exponent ~ 0.5 in d_ave (the composed form), clearly
+    # below the ~1.0 of plain OVERLAP.
+    assert fit.exponent <= 0.8, fit
+
+
+def test_normalized_column_flatish():
+    vals = []
+    for d in (16, 64):
+        res = simulate_composed(HostArray.uniform(32, d), verify=False)
+        vals.append(res.normalized())
+    assert max(vals) / min(vals) < 4
+
+
+def test_nonuniform_host():
+    rng = np.random.default_rng(3)
+    host = HostArray(uniform_delays(47, rng, 1, 16))
+    res = simulate_composed(host, steps=6)
+    assert res.verified
+
+
+def test_h0_block_scales_guest():
+    host = HostArray.uniform(32, 4)
+    a = simulate_composed(host, steps=4, h0_block=1, verify=False)
+    b = simulate_composed(host, steps=4, h0_block=2, verify=False)
+    assert b.m == 2 * a.m
+
+
+def test_on_graph_theorem6():
+    hg = now_cluster_host(4, 8, intra_delay=1, inter_delay=16)
+    res = simulate_composed_on_graph(hg, steps=4)
+    assert res.verified
+    assert res.embedding is not None
+    assert res.embedding.dilation <= 3
+
+
+def test_theorem5_bound_monotone():
+    h1 = HostArray.uniform(64, 4)
+    h2 = HostArray.uniform(64, 16)
+    assert theorem5_bound(h2) == pytest.approx(2 * theorem5_bound(h1))

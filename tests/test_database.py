@@ -1,0 +1,102 @@
+"""Database replicas: ordering, digests, copy-before-start rule."""
+
+import pytest
+
+from repro.machine.database import Database, check_replica_agreement
+from repro.machine.programs import CounterProgram, KeyedStoreProgram
+
+
+def make_db(col=3, prog=None):
+    prog = prog or CounterProgram()
+    return Database(col, prog.init_state(col)), prog
+
+
+def test_apply_advances_version_and_digest():
+    db, prog = make_db()
+    d0 = db.digest
+    db.apply(prog, 42)
+    assert db.version == 1
+    assert db.digest != d0
+
+
+def test_digests_depend_on_column():
+    a = Database(1, 0)
+    b = Database(2, 0)
+    assert a.digest != b.digest
+
+
+def test_same_update_sequence_same_digest():
+    prog = CounterProgram()
+    a = Database(5, prog.init_state(5))
+    b = Database(5, prog.init_state(5))
+    for u in [3, 1, 4, 1, 5]:
+        a.apply(prog, u)
+        b.apply(prog, u)
+    assert a.digest == b.digest
+    assert a.state == b.state
+
+
+def test_reordered_updates_diverge():
+    prog = CounterProgram()
+    a = Database(5, prog.init_state(5))
+    b = Database(5, prog.init_state(5))
+    for u in [3, 1]:
+        a.apply(prog, u)
+    for u in [1, 3]:
+        b.apply(prog, u)
+    assert a.digest != b.digest
+
+
+def test_fork_only_at_version_zero():
+    db, prog = make_db()
+    clone = db.fork()
+    assert clone.summary() == db.summary()
+    db.apply(prog, 7)
+    with pytest.raises(RuntimeError):
+        db.fork()
+
+
+def test_fork_copies_dict_state():
+    prog = KeyedStoreProgram()
+    db = Database(1, dict(enumerate(prog.init_state(1))))
+    clone = db.fork()
+    clone.state[0] = 999
+    assert db.state[0] != 999
+
+
+def test_replica_agreement_passes_for_twins():
+    prog = CounterProgram()
+    a = Database(2, prog.init_state(2))
+    b = a.fork()
+    for u in (10, 20):
+        a.apply(prog, u)
+        b.apply(prog, u)
+    check_replica_agreement([a, b])
+
+
+def test_replica_agreement_detects_divergence():
+    prog = CounterProgram()
+    a = Database(2, prog.init_state(2))
+    b = a.fork()
+    a.apply(prog, 10)
+    b.apply(prog, 11)
+    with pytest.raises(AssertionError):
+        check_replica_agreement([a, b])
+
+
+def test_replica_agreement_detects_version_skew():
+    prog = CounterProgram()
+    a = Database(2, prog.init_state(2))
+    b = a.fork()
+    a.apply(prog, 10)
+    with pytest.raises(AssertionError):
+        check_replica_agreement([a, b])
+
+
+def test_replica_agreement_rejects_mixed_columns():
+    with pytest.raises(AssertionError):
+        check_replica_agreement([Database(1, 0), Database(2, 0)])
+
+
+def test_replica_agreement_empty_ok():
+    check_replica_agreement([])

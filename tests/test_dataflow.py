@@ -1,0 +1,79 @@
+"""The dataflow-model executor (no-redundancy contrast)."""
+
+import pytest
+
+from repro.core.dataflow import (
+    DataflowResult,
+    dataflow_vs_database_summary,
+    simulate_dataflow,
+)
+from repro.machine.programs import CounterProgram, DataflowProgram
+
+
+def test_verified_run():
+    res = simulate_dataflow(4, 16, steps=8)
+    assert res.verified
+    assert res.m == 2 * 4 * 4  # 2q per proc
+
+
+def test_redundancy_exactly_one():
+    for d in (4, 16, 64):
+        res = simulate_dataflow(5, d, verify=True)
+        assert res.redundancy == 1.0
+        assert res.pebbles == res.m * res.steps
+
+
+def test_sqrt_scaling():
+    slows = []
+    for d in (16, 64, 256):
+        res = simulate_dataflow(4, d, verify=False)
+        slows.append(res.normalized())
+    # slow/sqrt(d) is flat.
+    assert max(slows) / min(slows) < 1.6
+
+
+def test_rejects_database_programs():
+    with pytest.raises(ValueError, match="database"):
+        simulate_dataflow(4, 16, program=CounterProgram())
+
+
+def test_rejects_tiny_configs():
+    with pytest.raises(ValueError):
+        simulate_dataflow(1, 16)
+    with pytest.raises(ValueError):
+        simulate_dataflow(4, 0)
+
+
+def test_partial_last_round():
+    res = simulate_dataflow(4, 16, steps=10)  # q=4, 2.5 rounds
+    assert res.verified
+    assert res.steps == 10
+
+
+def test_q_one_degenerate():
+    res = simulate_dataflow(4, 1, steps=4)
+    assert res.verified
+    assert res.q == 1
+
+
+def test_shipping_happens():
+    res = simulate_dataflow(4, 16, steps=8, verify=False)
+    assert res.shipped > 0
+
+
+def test_contrast_summary():
+    s = dataflow_vs_database_summary(4, 16, steps=8)
+    assert s["dataflow redundancy"] == 1.0
+    assert s["database redundancy"] > 2.0
+
+
+def test_explicit_q_override():
+    res = simulate_dataflow(4, 64, q=4, steps=8)
+    assert res.q == 4
+    assert res.verified
+
+
+def test_bandwidth_affects_makespan():
+    wide = simulate_dataflow(4, 64, bandwidth=16, verify=False)
+    narrow = simulate_dataflow(4, 64, bandwidth=1, verify=False)
+    assert narrow.makespan >= wide.makespan

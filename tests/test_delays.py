@@ -1,0 +1,73 @@
+"""Delay models."""
+
+import numpy as np
+import pytest
+
+from repro.topology.delays import (
+    bimodal_delays,
+    constant_delays,
+    pareto_delays,
+    scale_to_average,
+    uniform_delays,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_constant():
+    assert constant_delays(4, 3) == [3, 3, 3, 3]
+    with pytest.raises(ValueError):
+        constant_delays(4, 0)
+
+
+def test_uniform_bounds():
+    d = uniform_delays(500, rng(), low=2, high=9)
+    assert len(d) == 500
+    assert min(d) >= 2 and max(d) <= 9
+    with pytest.raises(ValueError):
+        uniform_delays(5, rng(), low=0, high=3)
+
+
+def test_bimodal_composition():
+    d = bimodal_delays(2000, rng(), near=1, far=100, p_far=0.1)
+    assert set(d) <= {1, 100}
+    frac_far = sum(1 for x in d if x == 100) / len(d)
+    assert 0.05 < frac_far < 0.15
+    with pytest.raises(ValueError):
+        bimodal_delays(5, rng(), p_far=1.5)
+
+
+def test_pareto_heavy_tail():
+    d = pareto_delays(5000, rng(), alpha=1.2, scale=1.0)
+    assert min(d) >= 1
+    # Heavy tail: max far exceeds mean.
+    assert max(d) > 10 * (sum(d) / len(d))
+
+
+def test_pareto_cap():
+    d = pareto_delays(1000, rng(), alpha=0.8, cap=50)
+    assert max(d) <= 50
+    with pytest.raises(ValueError):
+        pareto_delays(5, rng(), alpha=0)
+
+
+def test_scale_to_average_hits_target():
+    d = uniform_delays(300, rng(), 1, 20)
+    scaled = scale_to_average(d, 40.0)
+    mean = sum(scaled) / len(scaled)
+    assert abs(mean - 40.0) <= 1.0
+    assert min(scaled) >= 1
+
+
+def test_scale_to_average_validates():
+    with pytest.raises(ValueError):
+        scale_to_average([1, 2], 0.5)
+    assert scale_to_average([], 5) == []
+
+
+def test_reproducible_with_same_seed():
+    a = pareto_delays(100, np.random.default_rng(7))
+    b = pareto_delays(100, np.random.default_rng(7))
+    assert a == b

@@ -1,0 +1,167 @@
+"""Greedy executor: correctness, timing sanity, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.executor import GreedyExecutor, SimulationDeadlock, run_assignment
+from repro.core.verify import verify_execution
+from repro.machine.guest import GuestArray
+from repro.machine.host import HostArray
+from repro.machine.programs import (
+    CounterProgram,
+    DataflowProgram,
+    KeyedStoreProgram,
+    TokenProgram,
+)
+
+
+def one_to_one(n):
+    return Assignment([(i + 1, i + 1) for i in range(n)], n)
+
+
+def verify_run(host, assignment, program, steps, bandwidth=None):
+    result = run_assignment(host, assignment, program, steps, bandwidth)
+    ref = GuestArray(assignment.m, program).run_reference(steps)
+    verify_execution(result, ref, program)
+    return result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "prog_cls", [CounterProgram, DataflowProgram, TokenProgram, KeyedStoreProgram]
+    )
+    def test_one_to_one_unit_delays(self, prog_cls):
+        host = HostArray.uniform(8)
+        res = verify_run(host, one_to_one(8), prog_cls(), steps=10)
+        assert res.stats.pebbles == 80
+
+    def test_one_to_one_mixed_delays(self):
+        host = HostArray([1, 5, 2, 9, 1, 3, 7])
+        verify_run(host, one_to_one(8), CounterProgram(), steps=8)
+
+    def test_overlapping_ranges(self):
+        host = HostArray.uniform(4, 2)
+        asg = Assignment([(1, 3), (2, 5), (4, 7), (6, 8)], 8)
+        res = verify_run(host, asg, CounterProgram(), steps=6)
+        assert res.stats.redundant > 0
+
+    def test_single_processor_owns_everything(self):
+        host = HostArray.uniform(3, 4)
+        asg = Assignment([None, (1, 6), None], 6)
+        res = verify_run(host, asg, CounterProgram(), steps=5)
+        # Serial execution: exactly m*T steps, no messages.
+        assert res.stats.makespan == 30
+        assert res.stats.messages == 0
+
+    def test_relay_through_dead_processor(self):
+        # Position 1 holds nothing; messages must relay through it.
+        host = HostArray([2, 3])
+        asg = Assignment([(1, 1), None, (2, 2)], 2)
+        res = verify_run(host, asg, CounterProgram(), steps=4)
+        assert res.stats.messages > 0
+        assert res.stats.pebble_hops >= 2 * res.stats.messages
+
+    def test_blocked_ranges(self):
+        host = HostArray.uniform(4, 3)
+        asg = Assignment([(1, 4), (5, 8), (9, 12), (13, 16)], 16)
+        verify_run(host, asg, CounterProgram(), steps=6)
+
+
+class TestTiming:
+    def test_unit_host_one_to_one_is_fast(self):
+        host = HostArray.uniform(8, 1)
+        res = run_assignment(host, one_to_one(8), CounterProgram(), 10)
+        # With unit delays and bandwidth, slowdown is a small constant.
+        assert res.stats.makespan <= 3 * 10
+
+    def test_makespan_grows_with_delay(self):
+        slow = []
+        for d in (1, 4, 16):
+            host = HostArray.uniform(8, d)
+            res = run_assignment(host, one_to_one(8), CounterProgram(), 10)
+            slow.append(res.stats.makespan)
+        assert slow[0] < slow[1] < slow[2]
+
+    def test_single_copy_tracks_dmax(self):
+        d = 32
+        host = HostArray.uniform(6, d)
+        res = run_assignment(host, one_to_one(6), CounterProgram(), 6)
+        # After the free first row, every step needs a neighbour
+        # exchange over a d-delay link: makespan ~ 1 + (T-1)(d+1).
+        assert res.stats.makespan >= (6 - 1) * d
+
+    def test_bandwidth_one_is_slower_or_equal(self):
+        host = HostArray.uniform(6, 4)
+        asg = Assignment([(1, 4), (3, 8), (7, 12), (11, 16), (15, 20), (19, 24)], 24)
+        wide = run_assignment(host, asg, CounterProgram(), 8, bandwidth=8)
+        narrow = run_assignment(host, asg, CounterProgram(), 8, bandwidth=1)
+        assert narrow.stats.makespan >= wide.stats.makespan
+
+    def test_zero_steps(self):
+        host = HostArray.uniform(4)
+        res = run_assignment(host, one_to_one(4), CounterProgram(), 0)
+        assert res.stats.makespan == 0
+        assert res.stats.pebbles == 0
+
+
+class TestReporting:
+    def test_value_digests_cover_all_replicas(self):
+        host = HostArray.uniform(4, 2)
+        asg = Assignment([(1, 3), (2, 5), (4, 7), (6, 8)], 8)
+        res = run_assignment(host, asg, CounterProgram(), 5)
+        expected_replicas = sum(hi - lo + 1 for lo, hi in asg.ranges)
+        assert len(res.value_digests) == expected_replicas
+        assert len(res.replicas) == expected_replicas
+
+    def test_slowdown_helper(self):
+        host = HostArray.uniform(4)
+        res = run_assignment(host, one_to_one(4), CounterProgram(), 5)
+        assert res.slowdown() == res.stats.makespan / 5
+
+    def test_deterministic_across_runs(self):
+        host = HostArray([3, 1, 7])
+        asg = Assignment([(1, 2), (2, 3), (3, 3), (3, 4)], 4)
+        a = run_assignment(host, asg, CounterProgram(), 6)
+        b = run_assignment(host, asg, CounterProgram(), 6)
+        assert a.stats.makespan == b.stats.makespan
+        assert a.value_digests == b.value_digests
+
+
+class TestValidation:
+    def test_assignment_host_size_mismatch(self):
+        with pytest.raises(ValueError):
+            GreedyExecutor(HostArray.uniform(3), one_to_one(4), CounterProgram(), 5)
+
+    def test_negative_steps(self):
+        with pytest.raises(ValueError):
+            GreedyExecutor(HostArray.uniform(4), one_to_one(4), CounterProgram(), -1)
+
+    def test_uncovered_column_rejected(self):
+        host = HostArray.uniform(3)
+        bad = Assignment([(1, 1), None, (3, 3)], 3)
+        with pytest.raises(ValueError):
+            GreedyExecutor(host, bad, CounterProgram(), 2)
+
+
+class TestAgainstReferenceRandomised:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_overlapping_assignments(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 9))
+        host = HostArray([int(d) for d in rng.integers(1, 9, size=n - 1)])
+        m = int(rng.integers(n, 3 * n))
+        # Random contiguous cover: walk left to right with overlaps.
+        ranges = []
+        step = max(1, m // n)
+        lo = 1
+        for p in range(n):
+            width = int(rng.integers(step, step + 3))
+            hi = min(m, lo + width - 1)
+            if p == n - 1:
+                hi = m
+            ranges.append((lo, hi))
+            lo = min(m, max(lo + 1, hi - int(rng.integers(0, 2))))
+        asg = Assignment(ranges, m)
+        asg.validate()
+        verify_run(host, asg, CounterProgram(), steps=int(rng.integers(3, 10)))

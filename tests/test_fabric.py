@@ -1,0 +1,119 @@
+"""Fabric and LineFabric: multi-hop pipelined transport."""
+
+import networkx as nx
+import pytest
+
+from repro.netsim.fabric import Fabric, LineFabric
+from repro.netsim.routing import DELAY_ATTR
+
+
+def path_graph(delays):
+    g = nx.Graph()
+    for i, d in enumerate(delays):
+        g.add_edge(i, i + 1, **{DELAY_ATTR: d})
+    return g
+
+
+class TestFabric:
+    def test_hop_uses_link_delay(self):
+        f = Fabric(path_graph([3, 5]), bandwidth=1)
+        assert f.hop(0, 1, 0) == 3
+        assert f.hop(1, 2, 3) == 8
+
+    def test_directions_are_independent_pipes(self):
+        f = Fabric(path_graph([2]), bandwidth=1)
+        assert f.hop(0, 1, 0) == 2
+        assert f.hop(1, 0, 0) == 2  # no contention with the other direction
+
+    def test_unknown_link_rejected(self):
+        f = Fabric(path_graph([1, 1]))
+        with pytest.raises(KeyError):
+            f.hop(0, 2, 0)
+
+    def test_route_and_delay(self):
+        g = path_graph([4, 4])
+        g.add_edge(0, 2, **{DELAY_ATTR: 3})  # shortcut
+        f = Fabric(g)
+        assert f.route(0, 2) == [0, 2]
+        assert f.route_delay(0, 2) == 3
+
+    def test_send_along_accumulates_hops(self):
+        f = Fabric(path_graph([2, 3, 4]), bandwidth=1)
+        assert f.send_along([0, 1, 2, 3], 0) == 9
+
+    def test_total_injections_counts_pebble_hops(self):
+        f = Fabric(path_graph([1, 1]))
+        f.send_along([0, 1, 2], 0)
+        assert f.total_injections == 2
+
+    def test_reset(self):
+        f = Fabric(path_graph([1]), bandwidth=1)
+        f.hop(0, 1, 0)
+        f.reset()
+        assert f.total_injections == 0
+        assert f.hop(0, 1, 0) == 1
+
+
+class TestLineFabric:
+    def test_basic_hops(self):
+        lf = LineFabric([2, 7], bandwidth=1)
+        assert lf.n == 3
+        assert lf.hop(0, +1, 0) == 2
+        assert lf.hop(2, -1, 0) == 7
+
+    def test_distance_prefix_sums(self):
+        lf = LineFabric([2, 7, 1])
+        assert lf.distance(0, 3) == 10
+        assert lf.distance(3, 0) == 10
+        assert lf.distance(1, 2) == 7
+        assert lf.distance(2, 2) == 0
+
+    def test_aggregate_delay_stats(self):
+        lf = LineFabric([1, 3, 8])
+        assert lf.total_delay() == 12
+        assert lf.average_delay() == 4.0
+        assert lf.max_delay() == 8
+
+    def test_bandwidth_contention_per_direction(self):
+        lf = LineFabric([5], bandwidth=2)
+        assert lf.hop(0, +1, 0) == 5
+        assert lf.hop(0, +1, 0) == 5
+        assert lf.hop(0, +1, 0) == 6  # third pebble spills to next slot
+
+    def test_invalid_direction(self):
+        lf = LineFabric([1])
+        with pytest.raises(ValueError):
+            lf.hop(0, 0, 0)
+
+    def test_invalid_delays_rejected(self):
+        with pytest.raises(ValueError):
+            LineFabric([1, 0, 2])
+
+    def test_contention_between_streams_sharing_a_link(self):
+        # Two streams injecting at the same position/direction share
+        # the slot budget; arrivals serialise at bandwidth 1.
+        lf = LineFabric([3], bandwidth=1)
+        a1 = lf.hop(0, +1, 0)
+        a2 = lf.hop(0, +1, 0)
+        a3 = lf.hop(0, +1, 0)
+        assert (a1, a2, a3) == (3, 4, 5)
+
+    def test_wide_link_absorbs_burst(self):
+        lf = LineFabric([3], bandwidth=3)
+        arrivals = [lf.hop(0, +1, 0) for _ in range(3)]
+        assert arrivals == [3, 3, 3]
+
+    def test_backlog_drains_at_bandwidth_rate(self):
+        lf = LineFabric([2], bandwidth=2)
+        # 6 pebbles ready at t=0: slots 0,0,1,1,2,2 -> arrivals 2,2,3,3,4,4
+        arrivals = [lf.hop(0, +1, 0) for _ in range(6)]
+        assert arrivals == [2, 2, 3, 3, 4, 4]
+
+    def test_reset_and_injection_count(self):
+        lf = LineFabric([1, 1])
+        lf.hop(0, +1, 0)
+        lf.hop(1, +1, 1)
+        lf.hop(1, -1, 0)
+        assert lf.total_injections == 3
+        lf.reset()
+        assert lf.total_injections == 0

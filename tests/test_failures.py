@@ -1,0 +1,56 @@
+"""Fault tolerance: OVERLAP reconfigures around failed workstations."""
+
+import numpy as np
+import pytest
+
+from repro.core.killing import kill_and_label
+from repro.core.overlap import simulate_overlap
+from repro.machine.host import HostArray
+
+
+def test_forced_dead_excluded_from_liveness():
+    host = HostArray.uniform(32, 2)
+    res = kill_and_label(host, forced_dead={3, 10, 11})
+    assert not res.live[3] and not res.live[10] and not res.live[11]
+    assert res.n_live <= 29
+
+
+def test_invalid_failure_position_rejected():
+    with pytest.raises(ValueError):
+        kill_and_label(HostArray.uniform(8, 1), forced_dead={99})
+
+
+def test_overlap_survives_scattered_failures():
+    host = HostArray.uniform(64, 2)
+    rng = np.random.default_rng(0)
+    failed = set(int(p) for p in rng.choice(64, size=8, replace=False))
+    res = simulate_overlap(host, steps=8, forced_dead=failed)
+    assert res.verified
+    # Failed positions hold no databases.
+    for p in failed:
+        assert res.assignment.ranges[p] is None
+
+
+def test_overlap_survives_contiguous_outage():
+    # A whole rack goes down; its neighbours relay traffic across it.
+    host = HostArray.uniform(64, 2)
+    failed = set(range(24, 32))
+    res = simulate_overlap(host, steps=8, forced_dead=failed)
+    assert res.verified
+    assert res.m >= 32  # most of the guest survives
+
+
+def test_failures_shrink_guest_but_preserve_correctness():
+    host = HostArray.uniform(48, 2)
+    healthy = simulate_overlap(host, steps=6)
+    degraded = simulate_overlap(host, steps=6, forced_dead=set(range(0, 12)))
+    assert degraded.verified
+    assert degraded.m < healthy.m
+
+
+def test_failures_near_long_link_compose_with_killing():
+    delays = [1] * 63
+    delays[31] = 256
+    host = HostArray(delays)
+    res = simulate_overlap(host, steps=8, block=4, forced_dead={30, 33})
+    assert res.verified

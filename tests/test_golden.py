@@ -1,0 +1,49 @@
+"""Golden regression pins.
+
+Every run in this repository is deterministic, so a handful of exact
+output values guard the whole stack against accidental semantic drift
+(a changed mixing constant, a scheduling-order tweak, an off-by-one in
+the pipelined-link model would all move these numbers).  If a change
+*intentionally* alters semantics, update the pins in the same commit
+and say why.
+"""
+
+from repro.core.overlap import simulate_overlap
+from repro.core.ring import simulate_ring
+from repro.core.uniform import simulate_uniform
+from repro.machine.guest import GuestArray
+from repro.machine.host import HostArray
+from repro.machine.programs import CounterProgram
+
+GOLDEN_HOST = [1, 5, 2, 9, 1, 3, 7, 2, 4, 6, 1, 8, 3, 2, 5]
+
+
+def test_reference_grid_values_pinned():
+    ref = GuestArray(8, CounterProgram()).run_reference(5)
+    assert int(ref.values[5, 1]) == 3541152622121647128
+    assert int(ref.values[5, 8]) == 17163625588304628634
+    assert int(ref.update_digests[2]) == 6276431966630397882
+
+
+def test_overlap_run_pinned():
+    res = simulate_overlap(HostArray(GOLDEN_HOST, "golden"), steps=8, verify=False)
+    stats = res.exec_result.stats
+    assert res.m == 14
+    assert stats.makespan == 47
+    assert stats.pebbles == 240
+
+
+def test_uniform_run_pinned():
+    res = simulate_uniform(4, 16, steps=8, verify=False)
+    assert res.exec_result.stats.makespan == 98
+
+
+def test_ring_run_pinned():
+    res = simulate_ring(HostArray.uniform(8, 3), steps=6, verify=False)
+    assert res.exec_result.stats.makespan == 36
+
+
+def test_overlap_run_is_also_correct():
+    # The pinned run, with full verification on (belt and braces).
+    res = simulate_overlap(HostArray(GOLDEN_HOST, "golden"), steps=8, verify=True)
+    assert res.verified

@@ -1,0 +1,112 @@
+"""Reference executors and the ring fold embedding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.guest import GuestArray, GuestRing
+from repro.machine.pebbles import initial_value
+from repro.machine.programs import (
+    CounterProgram,
+    DataflowProgram,
+    KeyedStoreProgram,
+    TokenProgram,
+)
+
+
+def test_reference_shapes_and_row0():
+    g = GuestArray(6, CounterProgram())
+    ref = g.run_reference(4)
+    assert ref.values.shape == (5, 8)
+    assert ref.pebble(3, 0) == initial_value(3)
+    assert ref.total_pebbles() == 24
+
+
+def test_reference_deterministic():
+    g = GuestArray(10, CounterProgram())
+    a = g.run_reference(6)
+    b = g.run_reference(6)
+    assert np.array_equal(a.values, b.values)
+    assert np.array_equal(a.update_digests, b.update_digests)
+
+
+def test_scalar_and_vector_paths_agree():
+    prog = CounterProgram()
+    g = GuestArray(9, prog)
+    vec = g._run_vectorised(5)
+    sca = g._run_scalar(5)
+    assert np.array_equal(vec.values, sca.values)
+    assert np.array_equal(vec.update_digests, sca.update_digests)
+    assert np.array_equal(vec.state_digests, sca.state_digests)
+
+
+@pytest.mark.parametrize("prog_cls", [TokenProgram, DataflowProgram])
+def test_scalar_vector_agreement_other_programs(prog_cls):
+    g = GuestArray(7, prog_cls())
+    vec = g._run_vectorised(4)
+    sca = g._run_scalar(4)
+    assert np.array_equal(vec.values, sca.values)
+    assert np.array_equal(vec.update_digests, sca.update_digests)
+
+
+def test_keyed_store_uses_scalar_path():
+    g = GuestArray(5, KeyedStoreProgram())
+    ref = g.run_reference(3)
+    assert ref.values.shape == (4, 7)
+    # Values vary across columns (states differ).
+    row = ref.values[3, 1:6]
+    assert len(set(row.tolist())) == 5
+
+
+def test_zero_steps():
+    g = GuestArray(4, CounterProgram())
+    ref = g.run_reference(0)
+    assert ref.steps == 0
+    assert ref.values.shape == (1, 6)
+
+
+def test_invalid_sizes():
+    with pytest.raises(ValueError):
+        GuestArray(0, CounterProgram())
+    with pytest.raises(ValueError):
+        GuestArray(4, CounterProgram()).run_reference(-1)
+
+
+def test_values_differ_across_columns_and_time():
+    g = GuestArray(8, CounterProgram())
+    ref = g.run_reference(5)
+    interior = ref.values[1:, 1:9]
+    flat = interior.ravel().tolist()
+    assert len(set(flat)) == len(flat)  # no collisions in a tiny grid
+
+
+class TestRing:
+    def test_ring_reference_shape(self):
+        r = GuestRing(8, CounterProgram())
+        grid = r.run_reference(5)
+        assert grid.shape == (6, 8)
+
+    def test_ring_wraps_dependencies(self):
+        # With the token program the value of node 0 at t=1 depends on
+        # node m-1 (its left neighbour around the ring).
+        prog = TokenProgram()
+        m = 6
+        r = GuestRing(m, prog)
+        grid = r.run_reference(1)
+        states = prog.init_state_vec(m)
+        expected, _ = prog.compute(
+            1, 1, int(states[0]), initial_value(m), initial_value(1), initial_value(2)
+        )
+        assert int(grid[1, 0]) == expected
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            GuestRing(2, CounterProgram())
+
+    @given(st.integers(min_value=3, max_value=60))
+    @settings(max_examples=30)
+    def test_fold_embedding_is_permutation_with_dilation_2(self, m):
+        pos = GuestRing.fold_embedding(m)
+        assert sorted(pos) == list(range(m))
+        assert GuestRing.fold_dilation(m) <= 2

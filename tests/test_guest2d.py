@@ -1,0 +1,93 @@
+"""2-D guest machine: frames, reference execution, digests."""
+
+import numpy as np
+import pytest
+
+from repro.machine.guest2d import (
+    Dataflow2DProgram,
+    Guest2D,
+    StencilCounterProgram,
+    db2_digest_seed,
+    frame_value,
+    initial_value_2d,
+)
+
+
+def test_reference_shapes():
+    g = Guest2D(5, StencilCounterProgram())
+    ref = g.run_reference(3)
+    assert ref.values.shape == (4, 7, 7)
+    assert ref.update_digests.shape == (5, 5)
+    assert ref.state_digests.shape == (5, 5)
+
+
+def test_row0_initial_values():
+    g = Guest2D(4, StencilCounterProgram())
+    ref = g.run_reference(0)
+    assert ref.pebble(2, 3, 0) == initial_value_2d(2, 3)
+
+
+def test_frame_fills_border():
+    g = Guest2D(3, StencilCounterProgram())
+    ref = g.run_reference(2)
+    assert int(ref.values[2, 0, 1]) == frame_value(0, 1, 2)
+    assert int(ref.values[1, 4, 4]) == frame_value(4, 4, 1)
+
+
+def test_deterministic():
+    g = Guest2D(6, StencilCounterProgram())
+    a = g.run_reference(4)
+    b = g.run_reference(4)
+    assert np.array_equal(a.values, b.values)
+    assert np.array_equal(a.update_digests, b.update_digests)
+
+
+def test_scalar_compute_matches_grid():
+    prog = StencilCounterProgram()
+    m = 4
+    g = Guest2D(m, prog)
+    ref = g.run_reference(2)
+    # Recompute pebble (2, 2, 1) by hand from the t=0 layer.
+    v0 = ref.values[0]
+    states = prog.init_state_grid(m)
+    val, upd = prog.compute(
+        2, 2, 1,
+        int(states[1, 1]),
+        int(v0[1, 2]), int(v0[3, 2]), int(v0[2, 1]), int(v0[2, 3]), int(v0[2, 2]),
+    )
+    assert ref.pebble(2, 2, 1) == val
+
+
+def test_init_state_scalar_matches_grid():
+    prog = StencilCounterProgram()
+    grid = prog.init_state_grid(5)
+    for r in range(1, 6):
+        for c in range(1, 6):
+            assert prog.init_state(r, c) == int(grid[r - 1, c - 1])
+
+
+def test_db2_digest_seed_matches_reference_seed():
+    g = Guest2D(3, StencilCounterProgram())
+    ref = g.run_reference(0)
+    # With zero steps the digests are the seeds.
+    for r in range(1, 4):
+        for c in range(1, 4):
+            assert int(ref.update_digests[r - 1, c - 1]) == db2_digest_seed(r, c)
+
+
+def test_dataflow2d_has_constant_state():
+    g = Guest2D(4, Dataflow2DProgram())
+    ref = g.run_reference(3)
+    assert np.all(ref.state_digests == 0)
+
+
+def test_values_unique_in_small_grid():
+    g = Guest2D(4, StencilCounterProgram())
+    ref = g.run_reference(3)
+    interior = ref.values[1:, 1:5, 1:5].ravel().tolist()
+    assert len(set(interior)) == len(interior)
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        Guest2D(0, StencilCounterProgram())

@@ -1,0 +1,181 @@
+"""Section 6 machinery: audits, H1/H2 bounds, the zigzag path."""
+
+import math
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.baselines import simulate_single_copy, spread_assignment
+from repro.lower_bounds.audit import (
+    adjacency_separation_bound,
+    audit_assignment,
+    max_copies,
+    windowed_assignment,
+    work_lower_bound,
+)
+from repro.lower_bounds.h1 import expected_h1_bound, h1_adversarial_pair, theorem9_audit
+from repro.lower_bounds.h2 import (
+    fact4_violations,
+    find_overlap_pattern,
+    h2_census,
+    path_delay_bound,
+    segment_separation,
+    theorem10_bound,
+    zigzag_is_dependency_path,
+    zigzag_path,
+)
+from repro.machine.host import HostArray
+from repro.topology.generators import h1_host, h2_host
+
+
+class TestAudit:
+    def test_work_bound(self):
+        asg = Assignment([(1, 4), None, None, None], 4)
+        assert work_lower_bound(asg) == 4.0
+
+    def test_separation_bound_simple(self):
+        host = HostArray([10])
+        asg = Assignment([(1, 1), (2, 2)], 2)
+        sep, col = adjacency_separation_bound(host, asg)
+        assert sep == 5.0
+        assert col == 1
+
+    def test_separation_zero_with_shared_owner(self):
+        host = HostArray([10])
+        asg = Assignment([(1, 2), (2, 2)], 2)
+        sep, _ = adjacency_separation_bound(host, asg)
+        assert sep == 0.0
+
+    def test_audit_report(self):
+        host = h1_host(64)
+        asg = spread_assignment(64, 64)
+        rep = audit_assignment(host, asg)
+        assert rep.max_copies == 1
+        assert rep.slowdown_lower_bound >= rep.work_bound
+        assert rep.slowdown_lower_bound >= rep.separation_bound
+
+    def test_windowed_assignment_copies(self):
+        asg = windowed_assignment(16, 16, copies=2)
+        assert max_copies(asg) == 2
+        assert asg.load() <= 2 * math.ceil(16 / 16) + 1
+        asg.validate()
+
+    def test_windowed_assignment_three_copies(self):
+        asg = windowed_assignment(12, 24, copies=3)
+        assert max_copies(asg) == 3
+        asg.validate()
+
+    def test_windowed_validates(self):
+        with pytest.raises(ValueError):
+            windowed_assignment(4, 4, copies=0)
+
+
+class TestTheorem9:
+    def test_audit_separation_horn(self):
+        host = h1_host(64)
+        asg = spread_assignment(64, 64)
+        audit = theorem9_audit(asg, host)
+        assert audit.horn == "separation"
+        assert audit.bound >= expected_h1_bound(64) - 1
+        assert audit.witness_column is not None
+
+    def test_audit_work_horn(self):
+        host = h1_host(64)
+        # Cram everything on 4 < sqrt(n) processors.
+        asg = spread_assignment(64, 64, positions=[0, 1, 2, 3])
+        audit = theorem9_audit(asg, host)
+        assert audit.horn == "work"
+        assert audit.bound == 16.0
+
+    def test_rejects_multicopy(self):
+        host = h1_host(64)
+        asg = windowed_assignment(64, 64, copies=2)
+        with pytest.raises(ValueError):
+            theorem9_audit(asg, host)
+
+    def test_adversarial_pair_exists_for_spread(self):
+        host = h1_host(100)
+        asg = spread_assignment(100, 100)
+        pair = h1_adversarial_pair(host, asg)
+        assert pair is not None
+        col, sep = pair
+        assert sep >= 10  # sqrt(100)
+
+    def test_measured_slowdown_matches_bound(self):
+        host = h1_host(100)
+        res = simulate_single_copy(host, steps=10, verify=False)
+        audit = theorem9_audit(res.assignment, host)
+        assert res.slowdown >= audit.bound
+
+
+class TestH2:
+    def test_census(self):
+        h2 = h2_host(512)
+        c = h2_census(h2)
+        assert c["long_links"] == c["long_links_expected"]
+        assert c["d_ave"] < 8
+
+    def test_fact4_holds(self):
+        for n in (64, 256, 1024):
+            assert fact4_violations(h2_host(n)) == []
+
+    def test_segment_separation_at_least_d(self):
+        h2 = h2_host(256)
+        segs = h2.segments
+        for a, b in zip(segs, segs[1:]):
+            assert segment_separation(h2, a, b) >= h2.d
+
+    def test_windowed_2copy_bound_is_logarithmic(self):
+        h2 = h2_host(256)
+        n = h2.array.n
+        asg = windowed_assignment(n, n, copies=2)
+        res = theorem10_bound(h2, asg)
+        assert res["analytic_bound"] >= h2.log_n / (4 * asg.load())
+
+    def test_overlap_pattern_detection_positive(self):
+        h2 = h2_host(256)
+        segs = h2.segments
+        # Construct an assignment that deliberately overlaps two
+        # segments on columns 5..8 (plus flanks).
+        a, b = segs[0], segs[1]
+        ranges = [None] * h2.array.n
+        ranges[a.start] = (4, 8)  # columns i..i+j with i=4, j=4
+        ranges[b.start] = (5, 9)  # columns i+1..i+j+1
+        asg = Assignment(ranges, 9)
+        pattern = find_overlap_pattern(h2, asg)
+        assert pattern is not None
+        assert pattern.j >= 1
+
+
+class TestZigzag:
+    def test_path_shape(self):
+        p = zigzag_path(10, 4, 100)
+        assert len(p) == 16
+        assert zigzag_is_dependency_path(p)
+        # Times strictly decrease.
+        times = [t for _, t in p]
+        assert times == list(range(99, 83, -1))
+
+    def test_path_columns_zigzag(self):
+        j = 4
+        p = zigzag_path(0, j, 100)
+        cols = [c for c, _ in p]
+        # Segment A climbs to i+j, B/C oscillate, D descends, E/F oscillate.
+        assert cols[:j] == [1, 2, 3, 4]
+        assert set(cols[j : 2 * j]) == {j, j + 1}
+        assert set(cols[3 * j :]) == {0, 1}
+
+    def test_path_validation(self):
+        with pytest.raises(ValueError):
+            zigzag_path(0, 3, 100)  # odd j
+        with pytest.raises(ValueError):
+            zigzag_path(0, 4, 10)  # t too small
+
+    def test_path_delay_bound_positive_when_split(self):
+        h2 = h2_host(256)
+        n = h2.array.n
+        # One copy per column, spread: adjacent columns on adjacent
+        # positions; the zigzag crosses column boundaries repeatedly.
+        asg = spread_assignment(n, n)
+        p = zigzag_path(n // 2, 4, 100)
+        assert path_delay_bound(h2, asg, p) > 0

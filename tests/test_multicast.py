@@ -1,0 +1,59 @@
+"""Multicast delivery: shared per-direction streams."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.executor import GreedyExecutor
+from repro.core.verify import verify_execution
+from repro.machine.guest import GuestArray
+from repro.machine.host import HostArray
+from repro.machine.programs import CounterProgram
+
+
+def shared_subscriber_setup():
+    host = HostArray.uniform(5, 2)
+    # Positions 2 and 4 both hold columns 6..10, so both subscribe to
+    # position 0 for column 5 — a shared-direction stream.
+    asg = Assignment([(1, 5), None, (6, 10), None, (6, 10)], 10)
+    return host, asg
+
+
+def run(multicast, steps=8):
+    host, asg = shared_subscriber_setup()
+    prog = CounterProgram()
+    res = GreedyExecutor(host, asg, prog, steps, multicast=multicast).run()
+    verify_execution(res, GuestArray(10, prog).run_reference(steps), prog)
+    return res
+
+
+def test_multicast_correct_and_cheaper():
+    uni = run(False)
+    multi = run(True)
+    assert multi.stats.pebble_hops < uni.stats.pebble_hops
+    assert multi.stats.messages < uni.stats.messages
+
+
+def test_multicast_never_slower_here():
+    uni = run(False)
+    multi = run(True)
+    assert multi.stats.makespan <= uni.stats.makespan
+
+
+def test_multicast_identical_when_single_subscriber():
+    host = HostArray.uniform(4, 2)
+    asg = Assignment([(1, 2), (2, 4), (4, 6), (6, 8)], 8)
+    prog = CounterProgram()
+    a = GreedyExecutor(host, asg, prog, 6, multicast=False).run()
+    b = GreedyExecutor(host, asg, prog, 6, multicast=True).run()
+    assert a.stats.makespan == b.stats.makespan
+    assert a.stats.pebble_hops == b.stats.pebble_hops
+    assert a.value_digests == b.value_digests
+
+
+def test_multicast_both_directions():
+    # Supplier in the middle with subscribers on both sides.
+    host = HostArray.uniform(5, 2)
+    asg = Assignment([(1, 4), None, (5, 8), None, (9, 12)], 12)
+    prog = CounterProgram()
+    res = GreedyExecutor(host, asg, prog, 6, multicast=True).run()
+    verify_execution(res, GuestArray(12, prog).run_reference(6), prog)

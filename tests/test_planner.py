@@ -1,0 +1,70 @@
+"""The block-factor planner."""
+
+import pytest
+
+from repro.analysis.planner import (
+    Boundary,
+    plan_block_factor,
+    predict_slowdown,
+    split_boundaries,
+)
+from repro.core.killing import kill_and_label
+from repro.core.overlap import simulate_overlap
+from repro.machine.host import HostArray
+
+
+def outlier_host(F=512, n=128):
+    delays = [1] * (n - 1)
+    delays[n // 2 - 1] = F
+    return HostArray(delays, f"outlier{F}")
+
+
+def test_boundaries_extracted_with_delays():
+    killing = kill_and_label(outlier_host())
+    bs = split_boundaries(killing)
+    assert bs
+    # The top-level split straddles the big link.
+    top = [b for b in bs if b.depth == 0]
+    assert top and top[0].delay >= 512
+
+
+def test_boundary_cost_decreases_with_beta():
+    b = Boundary(0, 10, 11, delay=100, overlap=2.0)
+    assert b.per_row_cost(1) == 50.0
+    assert b.per_row_cost(10) == 5.0
+
+
+def test_predicted_curve_is_u_shaped():
+    killing = kill_and_label(outlier_host())
+    costs = [predict_slowdown(killing, b) for b in (1, 8, 64)]
+    assert costs[1] < costs[0]
+    assert costs[1] < costs[2]
+
+
+def test_plan_picks_interior_beta_for_outlier():
+    plan = plan_block_factor(outlier_host())
+    assert 2 <= plan.beta <= 32
+    assert plan.binding_boundary is not None
+    assert plan.binding_boundary.delay >= 512
+
+
+def test_plan_picks_small_beta_for_uniform_host():
+    plan = plan_block_factor(HostArray.uniform(96, 1))
+    assert plan.beta <= 2  # no latency to hide: compute dominates
+
+
+def test_recommendation_close_to_measured_optimum():
+    host = outlier_host()
+    plan = plan_block_factor(host, candidates=[1, 4, 8, 16, 32])
+    measured = {
+        b: simulate_overlap(host, steps=16, block=b, verify=False).slowdown
+        for b in (1, 4, 8, 16, 32)
+    }
+    best_measured = min(measured, key=measured.get)
+    # Within one rung of the geometric ladder.
+    assert plan.beta in (best_measured // 2, best_measured, best_measured * 2)
+
+
+def test_predicted_dict_covers_candidates():
+    plan = plan_block_factor(outlier_host(), candidates=[1, 3, 9])
+    assert set(plan.predicted) == {1, 3, 9}

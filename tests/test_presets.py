@@ -1,0 +1,62 @@
+"""Host presets."""
+
+import pytest
+
+from repro.core.overlap import simulate_overlap, simulate_overlap_on_graph
+from repro.machine.host import HostArray, HostGraph
+from repro.topology.presets import (
+    PRESETS,
+    campus,
+    dialup_outlier,
+    get_preset,
+    mixed_now,
+    smp_cluster,
+    wan,
+)
+
+
+def test_registry_and_lookup():
+    assert set(PRESETS) == {
+        "campus",
+        "wan",
+        "smp-cluster",
+        "dialup-outlier",
+        "mixed-now",
+    }
+    assert isinstance(get_preset("campus"), HostArray)
+    with pytest.raises(KeyError):
+        get_preset("nope")
+
+
+def test_campus_structure():
+    h = campus(64)
+    assert h.n == 64
+    assert h.d_max == 20
+    assert h.link_delays[15] == 20
+    assert h.link_delays[14] == 1
+
+
+def test_wan_heavy_tail_and_reproducible():
+    a = wan(64, seed=3)
+    b = wan(64, seed=3)
+    assert a.link_delays == b.link_delays
+    assert a.d_max > 4 * a.d_ave
+
+
+def test_smp_cluster_is_graph():
+    h = smp_cluster(4, 4)
+    assert isinstance(h, HostGraph)
+    assert h.n == 16
+    assert h.d_max == 32
+
+
+def test_dialup_outlier():
+    h = dialup_outlier(32, bad_delay=500)
+    assert h.d_max == 500
+    assert sum(1 for d in h.link_delays if d > 1) == 1
+
+
+def test_presets_run_through_overlap():
+    assert simulate_overlap(campus(48), steps=6).verified
+    assert simulate_overlap(mixed_now(48), steps=6).verified
+    assert simulate_overlap_on_graph(smp_cluster(3, 4), steps=6).verified

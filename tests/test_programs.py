@@ -1,0 +1,227 @@
+"""Guest programs: registry, scalar/vector agreement, semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.mixing import MASK
+from repro.machine.programs import (
+    CounterProgram,
+    DataflowProgram,
+    HashChainProgram,
+    KeyedStoreProgram,
+    RelaxationProgram,
+    TokenProgram,
+    get_program,
+    list_programs,
+)
+
+WORD = st.integers(min_value=0, max_value=MASK)
+VECTOR_PROGRAMS = [
+    CounterProgram,
+    DataflowProgram,
+    TokenProgram,
+    HashChainProgram,
+    RelaxationProgram,
+]
+
+
+def test_registry_roundtrip():
+    for name in list_programs():
+        assert get_program(name).name == name
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError):
+        get_program("nope")
+
+
+def test_registry_contents():
+    assert set(list_programs()) == {
+        "counter",
+        "dataflow",
+        "token",
+        "hashchain",
+        "keyed",
+        "ledger",
+        "relax",
+    }
+
+
+@pytest.mark.parametrize("cls", VECTOR_PROGRAMS)
+def test_init_state_scalar_vector_agree(cls):
+    prog = cls()
+    m = 17
+    vec = prog.init_state_vec(m)
+    for i in range(1, m + 1):
+        assert prog.init_state(i) == int(vec[i - 1])
+
+
+@pytest.mark.parametrize("cls", VECTOR_PROGRAMS)
+@given(WORD, WORD, WORD, WORD, st.integers(min_value=1, max_value=100))
+def test_compute_scalar_vector_agree(cls, state, left, up, right, t):
+    prog = cls()
+    sv, uv = prog.compute(3, t, state, left, up, right)
+    vec_vals, vec_upds = prog.compute_row_vec(
+        t,
+        np.array([state], dtype=np.uint64),
+        np.array([left], dtype=np.uint64),
+        np.array([up], dtype=np.uint64),
+        np.array([right], dtype=np.uint64),
+    )
+    assert sv == int(vec_vals[0])
+    assert uv == int(vec_upds[0])
+
+
+@pytest.mark.parametrize("cls", VECTOR_PROGRAMS)
+@given(WORD, WORD)
+def test_apply_scalar_vector_agree(cls, state, update):
+    prog = cls()
+    scalar = prog.apply(state, update)
+    vec = prog.apply_vec(
+        np.array([state], dtype=np.uint64), np.array([update], dtype=np.uint64)
+    )
+    assert scalar == int(vec[0])
+
+
+def test_dataflow_ignores_database():
+    prog = DataflowProgram()
+    assert not prog.uses_database
+    v1, u1 = prog.compute(1, 1, 0, 10, 20, 30)
+    v2, u2 = prog.compute(1, 1, 999, 10, 20, 30)
+    assert v1 == v2
+    assert u1 == u2 == 0
+    assert prog.apply(7, 123) == 7
+
+
+def test_counter_state_changes_value():
+    prog = CounterProgram()
+    v1, _ = prog.compute(1, 1, 0, 1, 2, 3)
+    v2, _ = prog.compute(1, 1, 1, 1, 2, 3)
+    assert v1 != v2
+
+
+def test_token_flows_from_left_only():
+    prog = TokenProgram()
+    v1, _ = prog.compute(1, 1, 5, 10, 0, 0)
+    v2, _ = prog.compute(1, 1, 5, 10, 99, 99)
+    assert v1 == v2  # up/right irrelevant
+    v3, _ = prog.compute(1, 1, 5, 11, 0, 0)
+    assert v1 != v3  # left matters
+
+
+def test_token_counter_increments():
+    prog = TokenProgram()
+    s = prog.init_state(1)
+    _, u = prog.compute(1, 1, s, 0, 0, 0)
+    assert u == 1
+    assert prog.apply(s, u) == (s + 1) & MASK
+
+
+def test_hashchain_is_column_local():
+    prog = HashChainProgram()
+    v1, _ = prog.compute(1, 1, 5, 0, 42, 0)
+    v2, _ = prog.compute(1, 1, 5, 77, 42, 88)
+    assert v1 == v2  # lateral parents irrelevant
+
+
+class TestKeyedStore:
+    def test_state_shape(self):
+        prog = KeyedStoreProgram()
+        state = prog.init_state(4)
+        assert len(state) == prog.K
+        assert len(set(state)) == prog.K
+
+    def test_update_encodes_key(self):
+        prog = KeyedStoreProgram()
+        state = prog.init_state(1)
+        _, update = prog.compute(1, 1, state, 3, 5, 7)
+        assert (update & (prog.K - 1)) == (3 ^ 5 ^ 7) % prog.K
+
+    def test_apply_is_pure(self):
+        prog = KeyedStoreProgram()
+        state = prog.init_state(1)
+        before = list(state)
+        new = prog.apply(state, 0x1234)
+        assert state == before
+        assert new != before
+
+    def test_state_digest_order_sensitive(self):
+        prog = KeyedStoreProgram()
+        s = prog.init_state(1)
+        assert prog.state_digest(s) != prog.state_digest(list(reversed(s)))
+
+    def test_reads_depend_on_bucket(self):
+        prog = KeyedStoreProgram()
+        state = prog.init_state(1)
+        # Two parent triples with equal xor hit the same bucket...
+        v1, _ = prog.compute(1, 1, state, 1, 2, 3)
+        # ...but after mutating that bucket the value changes.
+        key = (1 ^ 2 ^ 3) % prog.K
+        state2 = list(state)
+        state2[key] ^= 0xFF
+        v2, _ = prog.compute(1, 1, state2, 1, 2, 3)
+        assert v1 != v2
+
+
+class TestLedger:
+    def test_state_structure(self):
+        from repro.machine.programs import LedgerProgram
+
+        prog = LedgerProgram()
+        s = prog.init_state(3)
+        assert len(s["balances"]) == prog.A
+        assert s["count"] == 0
+
+    def test_apply_moves_money_and_counts(self):
+        from repro.machine.programs import LedgerProgram
+
+        prog = LedgerProgram()
+        s = prog.init_state(1)
+        _, update = prog.compute(1, 1, s, 11, 22, 33)
+        s2 = prog.apply(s, update)
+        assert s2["count"] == 1
+        assert s2 is not s
+        assert s["count"] == 0  # apply is pure
+
+    def test_value_reads_touched_balance(self):
+        from repro.machine.programs import LedgerProgram
+
+        prog = LedgerProgram()
+        s = prog.init_state(1)
+        v1, _ = prog.compute(1, 1, s, 11, 22, 33)
+        src = (11 ^ 22) % prog.A
+        s2 = dict(s)
+        s2["balances"] = list(s["balances"])
+        s2["balances"][src] += 1
+        v2, _ = prog.compute(1, 1, s2, 11, 22, 33)
+        assert v1 != v2
+
+    def test_digest_changes_with_state(self):
+        from repro.machine.programs import LedgerProgram
+
+        prog = LedgerProgram()
+        s = prog.init_state(1)
+        d1 = prog.state_digest(s)
+        _, update = prog.compute(1, 1, s, 1, 2, 3)
+        d2 = prog.state_digest(prog.apply(s, update))
+        assert d1 != d2
+
+    def test_runs_distributed_and_verifies(self):
+        from repro.core.overlap import simulate_overlap
+        from repro.machine.host import HostArray
+        from repro.machine.programs import LedgerProgram
+
+        res = simulate_overlap(
+            HostArray.uniform(24, 3), program=LedgerProgram(), steps=6
+        )
+        assert res.verified
+
+
+@pytest.mark.parametrize("cls", VECTOR_PROGRAMS)
+def test_values_in_word_range(cls):
+    prog = cls()
+    v, u = prog.compute(2, 3, prog.init_state(2), 123, 456, 789)
+    assert 0 <= v <= MASK
+    assert 0 <= u <= MASK

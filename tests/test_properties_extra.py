@@ -1,0 +1,100 @@
+"""Additional property-based suites across subsystems."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import simulate_dataflow
+from repro.core.killing import kill_and_label
+from repro.core.ring import ring_dep_map, simulate_ring
+from repro.lower_bounds.audit import windowed_assignment
+from repro.lower_bounds.h2 import segment_separation
+from repro.machine.host import HostArray
+from repro.topology.generators import h2_host
+
+
+@given(st.integers(min_value=3, max_value=40))
+@settings(max_examples=25, deadline=None)
+def test_ring_dep_map_is_consistent_permutation(m):
+    dep_map, node_of_col = ring_dep_map(m)
+    # Every column appears exactly twice as a source (left of one
+    # node, right of another) — a 2-regular dependency digraph.
+    counts = {}
+    for l, r in dep_map.values():
+        counts[l] = counts.get(l, 0) + 1
+        counts[r] = counts.get(r, 0) + 1
+    assert all(v == 2 for v in counts.values())
+    assert set(counts) == set(range(1, m + 1))
+
+
+@given(
+    st.integers(min_value=4, max_value=10),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=3, max_value=8),
+)
+@settings(max_examples=10, deadline=None)
+def test_ring_simulation_verifies_on_random_hosts(m, d, steps):
+    res = simulate_ring(HostArray.uniform(m, d), steps=steps)
+    assert res.verified
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=12, deadline=None)
+def test_dataflow_always_redundancy_one(n_procs, d):
+    res = simulate_dataflow(n_procs, d, verify=True)
+    assert res.redundancy == 1.0
+
+
+@given(st.integers(min_value=32, max_value=2048))
+@settings(max_examples=15, deadline=None)
+def test_h2_segments_are_disjoint_and_ordered(n):
+    h2 = h2_host(max(16, n))
+    segs = sorted(h2.segments, key=lambda s: s.start)
+    for a, b in zip(segs, segs[1:]):
+        assert a.end < b.start
+        assert segment_separation(h2, a, b) >= h2.d
+
+
+@given(
+    st.integers(min_value=4, max_value=32),
+    st.integers(min_value=4, max_value=64),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_windowed_assignment_invariants(n, m, copies):
+    asg = windowed_assignment(n, m, copies=copies)
+    asg.validate()
+    owners = asg.owners()
+    assert max(len(v) for v in owners.values()) <= copies
+    # Load bounded by copies * block size (constant load).
+    import math
+
+    assert asg.load() <= copies * math.ceil(m / n)
+
+
+@given(
+    st.integers(min_value=16, max_value=128),
+    st.lists(st.integers(min_value=1, max_value=500), min_size=15, max_size=127),
+)
+@settings(max_examples=20, deadline=None)
+def test_killing_never_kills_everything(n, delays):
+    if len(delays) < n - 1:
+        delays = (delays * ((n - 1) // len(delays) + 1))[: n - 1]
+    else:
+        delays = delays[: n - 1]
+    host = HostArray(delays)
+    res = kill_and_label(host)
+    # Lemma 1+2: at least (1 - 2/c) of the processors survive usefully.
+    assert res.n_prime >= (1 - 2 / res.params.c) * n - 1
+
+
+@given(st.integers(min_value=4, max_value=9), st.integers(min_value=1, max_value=30))
+@settings(max_examples=15, deadline=None)
+def test_ring_slowdown_bounded_by_dilation_times_delay(m, d):
+    res = simulate_ring(HostArray.uniform(m, d), steps=4, verify=False)
+    # Each guest step needs at most two array hops (fold dilation 2)
+    # plus the compute; slack factor for pipelining startup.
+    assert res.slowdown <= 3 * (2 * d + 2) + 4

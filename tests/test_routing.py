@@ -1,0 +1,76 @@
+"""Router: static shortest-delay paths with caching."""
+
+import networkx as nx
+import pytest
+
+from repro.netsim.routing import DELAY_ATTR, Router
+
+
+def weighted_graph():
+    g = nx.Graph()
+    g.add_edge("a", "b", **{DELAY_ATTR: 1})
+    g.add_edge("b", "c", **{DELAY_ATTR: 1})
+    g.add_edge("a", "c", **{DELAY_ATTR: 5})
+    return g
+
+
+def test_prefers_lower_total_delay():
+    r = Router(weighted_graph())
+    assert r.path("a", "c") == ["a", "b", "c"]
+    assert r.delay("a", "c") == 2
+    assert r.hops("a", "c") == 2
+
+
+def test_direct_edge_wins_when_cheaper():
+    g = weighted_graph()
+    g["a"]["c"][DELAY_ATTR] = 1
+    r = Router(g)
+    assert r.path("a", "c") == ["a", "c"]
+
+
+def test_rejects_disconnected_graph():
+    g = nx.Graph()
+    g.add_edge(0, 1, **{DELAY_ATTR: 1})
+    g.add_node(2)
+    with pytest.raises(ValueError):
+        Router(g)
+
+
+def test_rejects_missing_or_bad_delay():
+    g = nx.Graph()
+    g.add_edge(0, 1)
+    with pytest.raises(ValueError):
+        Router(g)
+    g2 = nx.Graph()
+    g2.add_edge(0, 1, **{DELAY_ATTR: 0})
+    with pytest.raises(ValueError):
+        Router(g2)
+
+
+def test_rejects_empty_graph():
+    with pytest.raises(ValueError):
+        Router(nx.Graph())
+
+
+def test_invalidate_clears_cache():
+    g = weighted_graph()
+    r = Router(g)
+    assert r.delay("a", "c") == 2
+    g["a"]["b"][DELAY_ATTR] = 100
+    r.invalidate()
+    assert r.delay("a", "c") == 5
+
+
+def test_path_to_self():
+    r = Router(weighted_graph())
+    assert r.path("b", "b") == ["b"]
+    assert r.delay("b", "b") == 0
+
+
+def test_large_ring_routing_symmetry():
+    g = nx.cycle_graph(20)
+    nx.set_edge_attributes(g, 1, DELAY_ATTR)
+    r = Router(g)
+    assert r.delay(0, 10) == 10
+    assert r.delay(0, 3) == 3
+    assert r.delay(0, 17) == 3  # shorter way round

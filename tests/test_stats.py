@@ -1,0 +1,47 @@
+"""SimStats counters and derived metrics."""
+
+import math
+
+import pytest
+
+from repro.netsim.stats import SimStats
+
+
+def test_slowdown():
+    s = SimStats(makespan=120)
+    assert s.slowdown(10) == 12.0
+    with pytest.raises(ValueError):
+        s.slowdown(0)
+
+
+def test_redundancy_factor():
+    s = SimStats(pebbles=150, redundant=50)
+    assert s.redundancy_factor() == 1.5
+
+
+def test_redundancy_factor_degenerate():
+    s = SimStats(pebbles=0, redundant=0)
+    assert math.isnan(s.redundancy_factor())
+
+
+def test_merge_accumulates():
+    a = SimStats(makespan=10, pebbles=5, messages=2, pebble_hops=4)
+    b = SimStats(makespan=20, pebbles=7, messages=1, pebble_hops=9, procs_used=3)
+    a.merge(b)
+    assert a.makespan == 20
+    assert a.pebbles == 12
+    assert a.messages == 3
+    assert a.pebble_hops == 13
+    assert a.procs_used == 3
+
+
+def test_as_dict_includes_extras():
+    s = SimStats(makespan=4)
+    s.extras["note"] = "x"
+    d = s.as_dict()
+    assert d["makespan"] == 4
+    assert d["note"] == "x"
+
+
+def test_work():
+    assert SimStats(pebbles=9).work() == 9

@@ -1,0 +1,83 @@
+"""Execution tracing."""
+
+from repro.core.assignment import Assignment
+from repro.core.executor import GreedyExecutor
+from repro.machine.host import HostArray
+from repro.machine.programs import CounterProgram
+from repro.netsim.trace import Trace
+
+
+def traced_run(delays=(4, 4, 4), steps=6):
+    host = HostArray(list(delays))
+    n = host.n
+    asg = Assignment([(i + 1, i + 1) for i in range(n)], n)
+    trace = Trace()
+    GreedyExecutor(host, asg, CounterProgram(), steps, trace=trace).run()
+    return trace, n, steps
+
+
+def test_records_every_pebble():
+    trace, n, steps = traced_run()
+    assert len(trace.records) == n * steps
+
+
+def test_makespan_matches_latest_record():
+    trace, _, _ = traced_run()
+    assert trace.makespan == max(r[0] for r in trace.records)
+
+
+def test_row_completion_monotone():
+    trace, _, steps = traced_run()
+    times = trace.row_completion_times()
+    assert sorted(times) == list(range(1, steps + 1))
+    ordered = [times[t] for t in sorted(times)]
+    assert ordered == sorted(ordered)
+
+
+def test_per_row_slowdown_sums_to_makespan():
+    trace, _, _ = traced_run()
+    per_row = trace.per_row_slowdown()
+    assert sum(step for _, step in per_row) == trace.makespan
+
+
+def test_utilization_bounds():
+    trace, n, _ = traced_run()
+    util = trace.utilization(list(range(n)))
+    assert len(util) == n
+    assert all(0 <= u <= 1 for u in util.values())
+    assert any(u > 0 for u in util.values())
+
+
+def test_spacetime_ascii_shape():
+    trace, n, _ = traced_run()
+    art = trace.spacetime_ascii(n, width=8, height=6)
+    lines = art.splitlines()
+    assert len(lines) == 6
+    assert all("|" in line for line in lines)
+    # Activity must appear somewhere.
+    assert any(ch not in " |t=0123456789" for line in lines for ch in line)
+
+
+def test_empty_trace():
+    t = Trace()
+    assert t.makespan == 0
+    assert t.spacetime_ascii(4) == "(empty trace)"
+    assert t.summary()["pebbles"] == 0
+
+
+def test_summary_keys():
+    trace, _, steps = traced_run()
+    s = trace.summary()
+    assert s["rows_completed"] == steps
+    assert s["pebbles"] == len(trace.records)
+    assert 0 < s["mean_utilization"] <= 1
+
+
+def test_wavefront_shows_latency_pauses():
+    """On a host with one huge link and no redundancy window, rows pay
+    the link every step: per-row increments reflect it."""
+    trace, _, _ = traced_run(delays=(1, 64, 1), steps=5)
+    per_row = trace.per_row_slowdown()
+    # After row 1 (free, from row 0), each row waits on the long link.
+    late_rows = [inc for row, inc in per_row if row >= 2]
+    assert all(inc >= 64 for inc in late_rows)

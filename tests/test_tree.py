@@ -1,0 +1,75 @@
+"""IntervalTree structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import IntervalTree
+
+
+def test_root_and_leaves():
+    t = IntervalTree(8)
+    assert t.root.lo == 0 and t.root.hi == 7
+    leaves = t.leaves()
+    assert [leaf.lo for leaf in leaves] == list(range(8))
+    assert all(leaf.is_leaf for leaf in leaves)
+
+
+def test_depth_structure_power_of_two():
+    t = IntervalTree(16)
+    assert t.height == 4
+    for k in range(5):
+        nodes = t.nodes_at_depth(k)
+        assert len(nodes) == 2**k
+        assert all(n.size == 16 // 2**k for n in nodes)
+
+
+@given(st.integers(min_value=1, max_value=300))
+@settings(max_examples=50)
+def test_invariants_arbitrary_sizes(n):
+    t = IntervalTree(n)
+    # Every internal node's children partition it.
+    for node in t.all_nodes():
+        if node.children:
+            left, right = node.children
+            assert left.lo == node.lo
+            assert right.hi == node.hi
+            assert left.hi + 1 == right.lo
+            assert left.parent is node and right.parent is node
+    # Sibling sizes within 1 of each other.
+    for node in t.all_nodes():
+        if node.children:
+            l, r = node.children
+            assert abs(l.size - r.size) <= 1
+    # Leaves cover all positions exactly once.
+    assert [leaf.lo for leaf in t.leaves()] == list(range(n))
+
+
+def test_leaf_at_descends_correctly():
+    t = IntervalTree(13)
+    for pos in range(13):
+        leaf = t.leaf_at(pos)
+        assert leaf.lo == leaf.hi == pos
+    with pytest.raises(IndexError):
+        t.leaf_at(13)
+
+
+def test_path_to_root():
+    t = IntervalTree(8)
+    path = t.path_to_root(5)
+    assert path[0].is_leaf and path[0].lo == 5
+    assert path[-1] is t.root
+    depths = [n.depth for n in path]
+    assert depths == sorted(depths, reverse=True)
+    for node in path:
+        assert node.lo <= 5 <= node.hi
+
+
+def test_nodes_at_depth_beyond_height_empty():
+    t = IntervalTree(4)
+    assert t.nodes_at_depth(10) == []
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        IntervalTree(0)

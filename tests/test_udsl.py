@@ -1,0 +1,91 @@
+"""The user program DSL."""
+
+import pytest
+
+from repro.core.overlap import simulate_overlap
+from repro.machine.host import HostArray
+from repro.machine.mixing import MASK
+from repro.machine.udsl import check_determinism, program_from_step
+
+
+def simple_step(i, t, state, left, up, right):
+    value = (state * 31 + left + 3 * up + 7 * right + i + t) & MASK
+    return value, value
+
+
+def test_wraps_and_runs_end_to_end():
+    prog = program_from_step(simple_step, name="weighted-sum")
+    res = simulate_overlap(HostArray.uniform(24, 3), program=prog, steps=6)
+    assert res.verified
+
+
+def test_defaults_are_word_state():
+    prog = program_from_step(simple_step)
+    s = prog.init_state(3)
+    assert isinstance(s, int)
+    v, u = prog.compute(3, 1, s, 1, 2, 3)
+    assert 0 <= v <= MASK
+    s2 = prog.apply(s, u)
+    assert s2 != s
+    assert prog.state_digest(s2) == s2
+
+
+def test_custom_init_apply_digest():
+    prog = program_from_step(
+        lambda i, t, s, l, u, r: ((s["x"] + l) & MASK, 1),
+        init=lambda i: {"x": i},
+        apply=lambda s, upd: {"x": s["x"] + upd},
+        digest=lambda s: s["x"],
+        name="dicty",
+    )
+    s = prog.init_state(5)
+    v, u = prog.compute(5, 1, s, 2, 0, 0)
+    assert v == 7
+    assert prog.state_digest(prog.apply(s, u)) == 6
+
+
+def test_values_masked_to_64_bits():
+    prog = program_from_step(lambda i, t, s, l, u, r: (2**70, 2**70 + 1))
+    v, upd = prog.compute(1, 1, 0, 0, 0, 0)
+    assert v <= MASK and upd <= MASK
+
+
+def test_determinism_check_passes_for_pure_step():
+    check_determinism(program_from_step(simple_step))
+
+
+def test_determinism_check_catches_randomness():
+    import random
+
+    prog = program_from_step(
+        lambda i, t, s, l, u, r: (random.getrandbits(64), 0)
+    )
+    with pytest.raises(AssertionError, match="nondeterministic"):
+        check_determinism(prog)
+
+
+def test_determinism_check_catches_state_mutation():
+    def mutating(i, t, state, l, u, r):
+        state["x"] = state.get("x", 0) + 1
+        return state["x"], 0
+
+    prog = program_from_step(
+        mutating, init=lambda i: {"x": 0}, apply=lambda s, u: s,
+        digest=lambda s: s["x"],
+    )
+    # Mutation surfaces either as value nondeterminism (second call
+    # sees the mutated state) or as the explicit mutation check.
+    with pytest.raises(AssertionError, match="nondeterministic|mutated"):
+        check_determinism(prog)
+
+
+def test_dataflow_style_user_program():
+    prog = program_from_step(
+        lambda i, t, s, l, u, r: ((l ^ u ^ r) & MASK, 0),
+        apply=lambda s, u: s,
+        uses_database=False,
+        name="xor-flow",
+    )
+    assert not prog.uses_database
+    res = simulate_overlap(HostArray.uniform(16, 2), program=prog, steps=5)
+    assert res.verified

@@ -1,0 +1,110 @@
+"""Theorem 4: the sqrt(d) simulation on uniform-delay hosts."""
+
+import math
+
+import pytest
+
+from repro.analysis.scaling import fit_power_law
+from repro.core.uniform import (
+    block_width,
+    phased_bound,
+    simulate_uniform,
+    trapezium_census,
+    uniform_assignment,
+)
+from repro.machine.programs import TokenProgram
+
+
+def test_block_width():
+    assert block_width(1) == 1
+    assert block_width(16) == 4
+    assert block_width(17) == 4
+    assert block_width(100) == 10
+
+
+class TestAssignment:
+    def test_three_owners_per_interior_column(self):
+        asg = uniform_assignment(8, 3)
+        owners = asg.owners()
+        assert asg.m == 24
+        for c in range(4, 19):
+            assert len(owners[c]) == 3
+
+    def test_block_shape(self):
+        q = 4
+        asg = uniform_assignment(6, q)
+        # Interior processor j owns (j-2)q+1 .. (j+1)q  (3q columns).
+        lo, hi = asg.ranges[3]  # paper's j = 4
+        assert lo == 2 * q + 1
+        assert hi == 5 * q
+        assert hi - lo + 1 == 3 * q
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_assignment(0, 2)
+        with pytest.raises(ValueError):
+            uniform_assignment(4, 0)
+
+
+class TestSimulation:
+    def test_verified_and_work_preserving(self):
+        res = simulate_uniform(8, 16, steps=8)
+        assert res.verified
+        assert res.assignment.m == 8 * 4
+        # Load is 3q = minimum-load up to the constant 3.
+        assert res.assignment.load() == 3 * res.q
+
+    def test_slowdown_below_phased_bound(self):
+        for d in (4, 9, 25, 64):
+            res = simulate_uniform(6, d, steps=2 * block_width(d))
+            assert res.slowdown <= res.bound() / res.steps * res.steps  # sanity
+            assert res.exec_result.stats.makespan <= phased_bound(
+                d, res.steps, res.q, res.host.default_bandwidth()
+            )
+
+    def test_sqrt_scaling_shape(self):
+        ds, slows = [], []
+        for d in (4, 16, 64, 256):
+            res = simulate_uniform(6, d, steps=2 * block_width(d), verify=False)
+            ds.append(d)
+            slows.append(res.slowdown)
+        fit = fit_power_law(ds, slows)
+        # Theorem 4 says exponent 1/2 (vs 1.0 for the naive approach).
+        assert 0.3 <= fit.exponent <= 0.75, fit
+
+    def test_normalized_slowdown_bounded(self):
+        for d in (16, 64, 256):
+            res = simulate_uniform(6, d, steps=2 * block_width(d), verify=False)
+            assert res.normalized() <= 6.0
+
+    def test_beats_single_copy_for_large_d(self):
+        d = 144
+        res = simulate_uniform(6, d, steps=24, verify=False)
+        # Naive per-step cost is ~d; Theorem 4 pays ~5 sqrt(d).
+        assert res.slowdown < d / 2
+
+    def test_other_program(self):
+        res = simulate_uniform(5, 9, steps=6, program=TokenProgram())
+        assert res.verified
+
+
+class TestTrapeziumCensus:
+    def test_figure4_region_sizes(self):
+        c = trapezium_census(16)
+        q = 4
+        assert c["q"] == q
+        assert c["trapezium_pebbles"] == 2 * q * q - q
+        assert c["triangle_pebbles"] == q * (q + 1)
+        # Regions partition P_j: 3q^2 pebbles total.
+        assert c["trapezium_pebbles"] + c["triangle_pebbles"] == 3 * q * q
+
+    def test_round_total_within_paper_budget(self):
+        for d in (16, 64, 256, 1024):
+            c = trapezium_census(d)
+            assert c["round_total"] <= c["paper_budget"]
+
+    def test_phased_bound_scales_sqrt(self):
+        b1 = phased_bound(64, 8)
+        b2 = phased_bound(256, 16)
+        # doubling sqrt(d) and steps/q constant: bound ~ 5d * steps/q.
+        assert b2 > b1

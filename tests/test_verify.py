@@ -1,0 +1,83 @@
+"""The verifier must catch every class of divergence."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.executor import run_assignment
+from repro.core.verify import (
+    VerificationError,
+    reference_column_digest,
+    verify_execution,
+)
+from repro.machine.guest import GuestArray
+from repro.machine.host import HostArray
+from repro.machine.mixing import fold_s
+from repro.machine.programs import CounterProgram
+
+
+def good_run(steps=5):
+    host = HostArray.uniform(4, 2)
+    asg = Assignment([(1, 2), (2, 4), (4, 6), (6, 8)], 8)
+    prog = CounterProgram()
+    result = run_assignment(host, asg, prog, steps)
+    ref = GuestArray(8, prog).run_reference(steps)
+    return result, ref, prog
+
+
+def test_clean_run_passes():
+    result, ref, prog = good_run()
+    checked = verify_execution(result, ref, prog)
+    assert checked == len(result.value_digests)
+
+
+def test_detects_tampered_value_digest():
+    result, ref, prog = good_run()
+    key = next(iter(result.value_digests))
+    result.value_digests[key] ^= 1
+    with pytest.raises(VerificationError, match="pebble values"):
+        verify_execution(result, ref, prog)
+
+
+def test_detects_tampered_update_digest():
+    result, ref, prog = good_run()
+    key = next(iter(result.replicas))
+    result.replicas[key].digest ^= 1
+    with pytest.raises(VerificationError, match="update digest"):
+        verify_execution(result, ref, prog)
+
+
+def test_detects_version_skew():
+    result, ref, prog = good_run()
+    key = next(iter(result.replicas))
+    result.replicas[key].version -= 1
+    with pytest.raises(VerificationError, match="updates"):
+        verify_execution(result, ref, prog)
+
+
+def test_detects_state_divergence():
+    result, ref, prog = good_run()
+    key = next(iter(result.replicas))
+    result.replicas[key].state ^= 0xFF
+    with pytest.raises(VerificationError, match="state"):
+        verify_execution(result, ref, prog)
+
+
+def test_detects_step_mismatch():
+    result, ref, prog = good_run()
+    ref2 = GuestArray(8, prog).run_reference(3)
+    with pytest.raises(VerificationError, match="step"):
+        verify_execution(result, ref2, prog)
+
+
+def test_detects_guest_size_mismatch():
+    result, ref, prog = good_run()
+    ref2 = GuestArray(9, prog).run_reference(5)
+    with pytest.raises(VerificationError, match="size"):
+        verify_execution(result, ref2, prog)
+
+
+def test_reference_column_digest_matches_fold():
+    _, ref, _ = good_run()
+    col = 3
+    expected = fold_s(int(v) for v in ref.values[1:, col])
+    assert reference_column_digest(ref, col) == expected
