@@ -42,6 +42,7 @@ from repro.core import (
     simulate_2d_on_uniform_array,
     verify_execution,
 )
+from repro.netsim import FaultEvent, FaultPlan, RecoveryPolicy
 from repro.machine import (
     CounterProgram,
     DataflowProgram,
@@ -85,6 +86,10 @@ __all__ = [
     "simulate_single_copy",
     "simulate_2d_on_uniform_array",
     "verify_execution",
+    # netsim faults
+    "FaultEvent",
+    "FaultPlan",
+    "RecoveryPolicy",
     # topology
     "embed_linear_array",
 ]

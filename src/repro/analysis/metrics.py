@@ -45,3 +45,31 @@ def advantage(baseline_slowdown: float, overlap_slowdown: float) -> float:
     if overlap_slowdown <= 0:
         raise ValueError("overlap slowdown must be positive")
     return baseline_slowdown / overlap_slowdown
+
+
+def degradation(faulty_slowdown: float, clean_slowdown: float) -> float:
+    """Degraded-mode slowdown relative to the fault-free run of the
+    same host (1.0 == faults cost nothing)."""
+    if clean_slowdown <= 0:
+        raise ValueError("clean slowdown must be positive")
+    return faulty_slowdown / clean_slowdown
+
+
+def survival_fraction(m_surviving: int, m_initial: int) -> float:
+    """Fraction of the guest that survived mid-run crashes."""
+    if m_initial <= 0:
+        raise ValueError("initial guest size must be positive")
+    if not 0 <= m_surviving <= m_initial:
+        raise ValueError(
+            f"surviving guest {m_surviving} outside 0..{m_initial}"
+        )
+    return m_surviving / m_initial
+
+
+def availability(completed_runs: int, total_runs: int) -> float:
+    """Fraction of runs in a sweep that completed (vs. deadlocked)."""
+    if total_runs <= 0:
+        raise ValueError("total_runs must be positive")
+    if not 0 <= completed_runs <= total_runs:
+        raise ValueError("completed_runs outside 0..total_runs")
+    return completed_runs / total_runs

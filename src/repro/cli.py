@@ -43,6 +43,7 @@ _TITLES = {
     "a2": "Ablation   - the constant c of killing/labelling",
     "a3": "Ablation   - dataflow vs database redundancy",
     "a4": "Ablation   - multicast boundary streams",
+    "r1": "Robustness - slowdown vs mid-run fault rate",
     "x1": "Section 7  - open questions: delay variance, rings",
     "x2": "Section 5  - Theorem 8 in D dimensions",
     "x3": "Calibration - measured constants of the bounds",
@@ -86,10 +87,11 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.assignment import assign_databases
-    from repro.core.executor import GreedyExecutor
+    from repro.core.executor import GreedyExecutor, SimulationDeadlock
     from repro.core.killing import kill_and_label
     from repro.machine.host import HostArray
     from repro.machine.programs import get_program
+    from repro.netsim.faults import FaultPlan
     from repro.netsim.trace import Trace
     from repro.topology.presets import get_preset
 
@@ -97,15 +99,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not isinstance(host, HostArray):
         print(f"preset {args.preset!r} is a graph host; trace needs an array", file=sys.stderr)
         return 2
-    killing = kill_and_label(host)
-    assignment = assign_databases(killing, block=args.block)
+    faults = None
+    min_copies = 1
+    if args.faults is not None:
+        try:
+            faults = FaultPlan.random(
+                host.n,
+                seed=args.faults,
+                horizon=max(8, args.steps * 4),
+                node_crash_rate=args.fault_rate,
+                drop_rate=args.fault_rate / 2,
+            )
+        except ValueError as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
+        min_copies = 2
+        print(f"fault plan (seed {args.faults}, rate {args.fault_rate}):")
+        print(faults.describe())
+        print()
     trace = Trace()
     program = get_program(args.program)
-    GreedyExecutor(host, assignment, program, args.steps, trace=trace).run()
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, block=args.block, min_copies=min_copies)
+    try:
+        GreedyExecutor(
+            host, assignment, program, args.steps, trace=trace, faults=faults
+        ).run()
+    except SimulationDeadlock as exc:
+        print(f"SIMULATION DEADLOCK: {exc}", file=sys.stderr)
+        return 1
     print(f"host: {host.name}  d_ave={host.d_ave:.2f}  d_max={host.d_max}")
     print(f"guest: {assignment.m} columns, block beta={args.block}, {args.steps} steps")
     for k, v in trace.summary().items():
         print(f"  {k}: {v}")
+    if trace.fault_marks:
+        print("\nfault/recovery marks:")
+        for t, kind, detail in trace.fault_marks:
+            print(f"  t={t:>6} {kind}: {detail}")
     print("\nspace-time diagram (x: host position, y: time):")
     print(trace.spacetime_ascii(host.n, width=72, height=18))
     print(f"\nslowdown: {trace.makespan / args.steps:.1f}")
@@ -164,6 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--block", type=int, default=8, help="block factor beta")
     p_trace.add_argument("--steps", type=int, default=24, help="guest steps")
     p_trace.add_argument("--program", default="counter", help="guest program")
+    p_trace.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a random FaultPlan with this seed (enables min_copies=2)",
+    )
+    p_trace.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.1,
+        help="per-node crash rate of the random plan (with --faults)",
+    )
     p_trace.set_defaults(func=_cmd_trace)
 
     sub.add_parser("info", help="package summary").set_defaults(func=_cmd_info)

@@ -92,16 +92,27 @@ class Assignment:
         return [p for p, r in enumerate(self.ranges) if r is not None]
 
 
-def assign_databases(killing: KillingResult, block: int = 1) -> Assignment:
+def assign_databases(
+    killing: KillingResult, block: int = 1, min_copies: int = 1
+) -> Assignment:
     """Distribute databases down the labelled tree.
 
     ``block`` is the work-efficiency factor ``beta`` of Section 3.3:
     every base column is expanded into ``beta`` consecutive guest
     columns, so the guest has ``n' * beta`` processors and the load is
     ``O(beta)``.
+
+    ``min_copies`` widens each live processor's range over a window of
+    its nearest neighbours until every column has at least that many
+    replicas (load stays O(``min_copies``)).  The tree already overlaps
+    sibling intervals, but single-copy stretches remain; fault-tolerant
+    runs pass ``min_copies=2`` so that one mid-run crash never destroys
+    the last replica of a database interval.
     """
     if block < 1:
         raise ValueError("block factor must be >= 1")
+    if min_copies < 1:
+        raise ValueError("min_copies must be >= 1")
     tree, params = killing.tree, killing.params
     if tree.root.removed or killing.n_prime < 1:
         raise ValueError(
@@ -110,7 +121,7 @@ def assign_databases(killing: KillingResult, block: int = 1) -> Assignment:
         )
 
     n_prime = killing.n_prime
-    ranges: list[tuple[int, int] | None] = [None] * killing.host.n
+    base: dict[int, tuple[int, int]] = {}  # position -> base-column range
 
     # Distribute real intervals [start, start + width) top-down.
     tree.root.db_start = 0.0
@@ -126,7 +137,7 @@ def assign_databases(killing: KillingResult, block: int = 1) -> Assignment:
             hi = int(math.ceil(start + width))
             lo = max(1, min(lo, n_prime))
             hi = max(1, min(hi, n_prime))
-            ranges[node.lo] = ((lo - 1) * block + 1, hi * block)
+            base[node.lo] = (lo, hi)
             continue
         kids = node.live_children()
         if len(kids) == 1:
@@ -149,6 +160,34 @@ def assign_databases(killing: KillingResult, block: int = 1) -> Assignment:
         stack.append(left)
         stack.append(right)
 
+    if min_copies > 1:
+        base = _widen_for_copies(base, min_copies)
+    ranges: list[tuple[int, int] | None] = [None] * killing.host.n
+    for p, (lo, hi) in base.items():
+        ranges[p] = ((lo - 1) * block + 1, hi * block)
     asg = Assignment(ranges, n_prime * block, block)
     asg.validate()
     return asg
+
+
+def _widen_for_copies(
+    base: dict[int, tuple[int, int]], min_copies: int
+) -> dict[int, tuple[int, int]]:
+    """Widen each position's base range to the hull of the ranges of
+    the ``min_copies - 1`` nearest live positions on each side.
+
+    A column owned by live position ``j`` is then also owned by every
+    live position within ``min_copies - 1`` hops of ``j``, so every
+    column ends up with ``min(live, min_copies)`` or more replicas
+    while the per-processor load stays O(``min_copies``).
+    """
+    used = sorted(base)
+    w = min_copies - 1
+    out: dict[int, tuple[int, int]] = {}
+    for i, p in enumerate(used):
+        window = used[max(0, i - w) : i + w + 1]
+        out[p] = (
+            min(base[q][0] for q in window),
+            max(base[q][1] for q in window),
+        )
+    return out

@@ -42,14 +42,59 @@ from repro.machine.pebbles import (
 )
 from repro.machine.programs import Program
 from repro.netsim.events import EventQueue
+from repro.netsim.faults import LOST, FaultPlan, RecoveryPolicy
 from repro.netsim.stats import SimStats
 
 _DONE = 0
 _MSG = 1
+# Fault-mode event kinds (only pushed when a non-empty FaultPlan runs).
+_CRASH = 2
+_RESUME = 3
+_CHECK = 4
+_REQ = 5
+_WATCH = 6
 
 
 class SimulationDeadlock(RuntimeError):
-    """The event queue drained before every pebble was computed."""
+    """The run cannot make progress before every pebble is computed.
+
+    Carries diagnostic state:
+
+    ``pending``
+        ``(position, column, last computed t)`` for every replica that
+        never reached ``T``.
+    ``undelivered``
+        ``(position, column, watermark)`` for every subscription stream
+        whose delivery watermark is short of ``T``.
+    ``fault_log``
+        Human-readable fault/recovery events seen before the deadlock
+        (empty on fault-free runs).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pending: list | None = None,
+        undelivered: list | None = None,
+        fault_log: list | None = None,
+    ) -> None:
+        details = []
+        if pending:
+            details.append(f"{len(pending)} stuck replicas, first: {pending[:5]}")
+        if undelivered:
+            details.append(
+                f"{len(undelivered)} stalled streams, first: {undelivered[:5]}"
+            )
+        if fault_log:
+            details.append(
+                f"{len(fault_log)} fault events, last: {fault_log[-3:]}"
+            )
+        if details:
+            message = f"{message} [{'; '.join(details)}]"
+        super().__init__(message)
+        self.pending = pending or []
+        self.undelivered = undelivered or []
+        self.fault_log = fault_log or []
 
 
 @dataclass
@@ -88,6 +133,9 @@ class GreedyExecutor:
         trace=None,
         multicast: bool = False,
         tie_seed: int | None = None,
+        faults: FaultPlan | None = None,
+        policy: RecoveryPolicy | None = None,
+        reassign=None,
     ) -> None:
         """Build an executor.
 
@@ -102,13 +150,22 @@ class GreedyExecutor:
         values, database identity, the ``i`` passed to ``compute``):
         ring simulation places ring node ``k`` at some array column
         ``j``, and the guest semantics must follow ``k``, not ``j``.
+
+        ``faults`` is an optional :class:`~repro.netsim.faults.FaultPlan`
+        to inject during the run; a non-empty plan switches :meth:`run`
+        to the fault-aware loop (``policy`` tunes detection/recovery,
+        ``reassign`` maps a dead-position set to a reduced
+        :class:`Assignment` — default: re-run OVERLAP's killing stages
+        with ``min_copies=2``).  An empty/absent plan takes the plain
+        loop, bit-identical to the fault-free executor.
         """
         if assignment.n != host.n:
             raise ValueError(
                 f"assignment is for {assignment.n} positions, host has {host.n}"
             )
-        if steps < 0:
-            raise ValueError("steps must be non-negative")
+        from repro.core.killing import validate_steps
+
+        steps = validate_steps(steps)
         assignment.validate()
         self.host = host
         self.assignment = assignment
@@ -120,17 +177,23 @@ class GreedyExecutor:
         self.col_label = col_label or (lambda c: c)
         self.trace = trace
         self.multicast = multicast
-        # Optional scheduling jitter: permute the within-row column
-        # preference.  Correctness must not depend on scheduling order
-        # (any work-conserving order simulates the guest exactly);
-        # tests sweep seeds to prove it.  None = natural column order.
-        if tie_seed is None:
-            self._rank = None
+        self._tie_seed = tie_seed
+        self._make_rank()
+        self.faults = faults
+        self.policy = policy or RecoveryPolicy()
+        self.reassign = reassign
+        self._faulty = faults is not None and not faults.is_empty
+        self._epoch = 0
+        if self._faulty:
+            if dep_map is not None:
+                raise ValueError(
+                    "fault injection supports the standard array dependency "
+                    "structure only (dep_map must be None)"
+                )
+            self._fault_tables = faults.compile(host)
+            self.fabric.attach_faults(self._fault_tables)
         else:
-            import numpy as _np
-
-            perm = _np.random.default_rng(tie_seed).permutation(self.m + 1)
-            self._rank = {c: int(perm[c]) for c in range(1, self.m + 1)}
+            self._fault_tables = None
         if dep_map is not None:
             for c in range(1, self.m + 1):
                 if c not in dep_map:
@@ -141,6 +204,19 @@ class GreedyExecutor:
                             f"dep_map[{c}] source {src} outside 1..{self.m}"
                         )
         self._build_state()
+
+    def _make_rank(self) -> None:
+        # Optional scheduling jitter: permute the within-row column
+        # preference.  Correctness must not depend on scheduling order
+        # (any work-conserving order simulates the guest exactly);
+        # tests sweep seeds to prove it.  None = natural column order.
+        if self._tie_seed is None:
+            self._rank = None
+        else:
+            import numpy as _np
+
+            perm = _np.random.default_rng(self._tie_seed).permutation(self.m + 1)
+            self._rank = {c: int(perm[c]) for c in range(1, self.m + 1)}
 
     def _deps(self, c: int) -> tuple[int, int]:
         """Lateral source columns of ``c`` (left-like, right-like)."""
@@ -269,9 +345,14 @@ class GreedyExecutor:
         db.apply(self.program, update)
         self.vals[p][c][t] = value
         self.busy[p] = True
-        queue.push(now + 1, _DONE, (p, c, t))
+        if self._faulty:
+            queue.push(now + 1, _DONE, (p, c, t, self._epoch))
+        else:
+            queue.push(now + 1, _DONE, (p, c, t))
 
     def run(self) -> ExecResult:
+        if self._faulty:
+            return self._run_faulty()
         stats = SimStats()
         queue = EventQueue()
         T = self.T
@@ -339,15 +420,347 @@ class GreedyExecutor:
                     queue.push(arr, _MSG, (pos + step, targets, c, t, value))
 
         if remaining:
-            stuck = [
-                (p, c, self.done[p][c])
-                for p in self.used
-                for c in self.done[p]
-                if self.done[p][c] < T
-            ]
-            raise SimulationDeadlock(
-                f"{remaining} pebbles never computed; first stuck: {stuck[:5]}"
+            raise self._deadlock(f"{remaining} pebbles never computed")
+        return self._finish(stats, makespan)
+
+    # -- fault-aware engine ----------------------------------------------
+    def _deadlock(self, message: str) -> SimulationDeadlock:
+        """Build a :class:`SimulationDeadlock` with full diagnostics."""
+        T = self.T
+        pending = [
+            (p, c, self.done[p][c])
+            for p in self.used
+            for c in self.done[p]
+            if self.done[p][c] < T
+        ]
+        undelivered = [
+            (p, c, e[0])
+            for p in self.used
+            for c, e in self.ext[p].items()
+            if e[0] < T
+        ]
+        return SimulationDeadlock(
+            message,
+            pending=pending,
+            undelivered=undelivered,
+            fault_log=list(getattr(self, "_fault_log", ())),
+        )
+
+    def _watch_window(self) -> int:
+        """No-progress watchdog period: generously longer than the
+        slowest legitimate stream timeout, so it only fires on runs
+        that are genuinely wedged (guaranteeing termination)."""
+        base = self.policy.timeout(self.host.total_delay)
+        return max(32, int(self.policy.watchdog_factor * base))
+
+    def _init_streams(self, now: int, queue: EventQueue) -> None:
+        """(Re)build the stall-detection records: one per subscription
+        stream, each with a pending ``_CHECK`` event."""
+        ep = self._epoch
+        policy = self.policy
+        self._streams = {}
+        provider_of: dict[tuple[int, int], int] = {}
+        for (q, c), subs in self.subscribers.items():
+            for p in subs:
+                provider_of[(p, c)] = q
+        for (p, c), q in sorted(provider_of.items()):
+            # [provider, attempts, retries consumed, watermark at last check]
+            self._streams[(p, c)] = [q, 0, 0, self.ext[p][c][0]]
+            queue.push(now + self._stream_timeout(p, q), _CHECK, (p, c, ep))
+
+    def _stream_timeout(self, p: int, q: int) -> int:
+        """Stall deadline for the stream ``q -> p``: transit time plus
+        the provider's production cadence (it round-robins ``load``
+        columns, so one pebble of any single column every ~``load``
+        steps is normal, not a stall)."""
+        return self.policy.timeout(
+            self.host.distance(p, q) + self.assignment.load()
+        )
+
+    def _default_reassign(self, dead: frozenset) -> Assignment:
+        """Re-run OVERLAP's killing stages with the crashed positions
+        forced dead; ``min_copies=2`` keeps the reduced assignment
+        tolerant to the *next* crash."""
+        from repro.core.assignment import assign_databases
+        from repro.core.killing import kill_and_label
+
+        killing = kill_and_label(self.host, forced_dead=set(dead))
+        return assign_databases(killing, self.assignment.block, min_copies=2)
+
+    def _reconfigure(self, now: int, queue: EventQueue, stats: SimStats) -> int:
+        """Mid-run recovery after a database-holding node crashed.
+
+        Re-runs killing/labelling on the survivors (via ``reassign``),
+        checks every surviving guest column still has a live replica to
+        clone from, then restarts the epoch: fresh databases, reduced
+        guest ``1..m'``, execution resuming after ``restart_penalty``
+        host steps.  Returns the new remaining-pebble count.
+        """
+        old_m = self.m
+        reassign = self.reassign or self._default_reassign
+        try:
+            assignment = reassign(frozenset(self._dead))
+        except ValueError as exc:
+            raise self._deadlock(f"reconfiguration impossible: {exc}") from exc
+        # Databases are data, not code: a column can only be re-hosted by
+        # copying a surviving replica.  No live copy => unrecoverable.
+        missing = [c for c in range(1, assignment.m + 1) if not self._holders.get(c)]
+        if missing:
+            raise self._deadlock(
+                "no replica of a needed database interval survives: columns "
+                f"{missing[:10]}{'...' if len(missing) > 10 else ''}"
             )
+        stats.recoveries += 1
+        if assignment.m < old_m:
+            stats.columns_lost += old_m - assignment.m
+        self._epoch += 1
+        self.assignment = assignment
+        self.m = assignment.m
+        self._make_rank()
+        self._build_state()
+        # The new owners copy their intervals from the surviving
+        # replicas *during* the restart window; they only become
+        # holders at _RESUME (and the sources must stay alive until
+        # then) — a correlated crash inside the window can still
+        # destroy the last copy.
+        self._pending_holders = assignment.owners()
+        self._streams = {}
+        penalty = self.policy.restart_penalty
+        if penalty is None:
+            penalty = self.host.total_delay
+        self._fault_log.append(
+            f"t={now} recovery: epoch {self._epoch}, m {old_m}->{self.m}, "
+            f"resume at t={now + penalty}"
+        )
+        if self.trace is not None:
+            self.trace.record_fault(
+                now, "recovery", f"epoch {self._epoch}: m {old_m}->{self.m}"
+            )
+        queue.push(now + penalty, _RESUME, self._epoch)
+        return sum(len(self.done[p]) for p in self.used) * self.T
+
+    def _run_faulty(self) -> ExecResult:
+        """Fault-aware main loop (only entered with a non-empty plan).
+
+        The plain loop plus: epoch-tagged events (a mid-run
+        reconfiguration invalidates everything in flight), scripted
+        ``_CRASH`` events, per-stream stall detection/retry
+        (``_CHECK``/``_REQ``), and a global no-progress watchdog that
+        turns any wedged schedule into :class:`SimulationDeadlock`
+        rather than an infinite loop.
+        """
+        stats = SimStats()
+        queue = EventQueue()
+        T = self.T
+        host = self.host
+        policy = self.policy
+        makespan = 0
+        self._epoch = 0
+        self._dead: set[int] = set()
+        self._fault_log: list[str] = []
+        self._progress = 0
+        self._streams: dict[tuple[int, int], list] = {}
+        stats.faults_injected = len(self.faults.events)
+        # column -> live positions holding a replica (recovery sources)
+        self._holders = {c: set(ps) for c, ps in self.assignment.owners().items()}
+        remaining = sum(len(self.done[p]) for p in self.used) * T
+
+        if T == 0 or remaining == 0:
+            return self._finish(stats, 0)
+
+        for pos, t_crash in sorted(self._fault_tables.crash_times.items()):
+            queue.push(t_crash, _CRASH, pos)
+        for p in self.used:
+            self._try_start(p, 0, queue)
+        self._init_streams(0, queue)
+        queue.push(self._watch_window(), _WATCH, self._progress)
+
+        hop = self.fabric.hop_faulty
+        while queue:
+            ev = queue.pop()
+            now = ev.time
+            kind = ev.kind
+            if kind == _DONE:
+                p, c, t, ep = ev.data
+                if ep != self._epoch:
+                    continue  # pre-reconfiguration work, discarded
+                self.busy[p] = False
+                self.done[p][c] = t
+                stats.pebbles += 1
+                remaining -= 1
+                self._progress += 1
+                if self.trace is not None:
+                    self.trace.record(now, p, c, t)
+                if now > makespan:
+                    makespan = now
+                subs = self.subscribers.get((p, c))
+                if subs:
+                    value = self.vals[p][c][t]
+                    if self.multicast:
+                        left = tuple(sorted((d for d in subs if d < p), reverse=True))
+                        right = tuple(sorted(d for d in subs if d > p))
+                        for targets in (left, right):
+                            if not targets:
+                                continue
+                            stats.messages += 1
+                            step = 1 if targets[0] > p else -1
+                            arr = hop(p, step, now)
+                            if arr is LOST:
+                                stats.lost_messages += 1
+                            else:
+                                queue.push(
+                                    arr, _MSG, (p + step, targets, c, t, value, ep)
+                                )
+                    else:
+                        for dst in subs:
+                            stats.messages += 1
+                            step = 1 if dst > p else -1
+                            arr = hop(p, step, now)
+                            if arr is LOST:
+                                stats.lost_messages += 1
+                            else:
+                                queue.push(
+                                    arr, _MSG, (p + step, (dst,), c, t, value, ep)
+                                )
+                if remaining == 0:
+                    break
+                self._try_start(p, now, queue)
+            elif kind == _MSG:
+                pos, targets, c, t, value, ep = ev.data
+                if ep != self._epoch:
+                    continue
+                if pos == targets[0]:
+                    e = self.ext.get(pos, {}).get(c)
+                    # Unlike the plain loop, duplicates (t <= watermark,
+                    # from replays) and gaps (t > watermark + 1, after a
+                    # lost predecessor) are expected: apply only the next
+                    # in-order pebble, ignore the rest.
+                    if e is not None and t == e[0] + 1:
+                        e[1][t] = value
+                        e[0] = t
+                        self._progress += 1
+                        self._try_start(pos, now, queue)
+                    targets = targets[1:]
+                if targets:
+                    step = 1 if targets[0] > pos else -1
+                    arr = hop(pos, step, now)
+                    if arr is LOST:
+                        stats.lost_messages += 1
+                    else:
+                        queue.push(arr, _MSG, (pos + step, targets, c, t, value, ep))
+            elif kind == _CRASH:
+                pos = ev.data
+                if pos in self._dead:
+                    continue
+                self._dead.add(pos)
+                stats.crashed_nodes += 1
+                self._fault_log.append(f"t={now} crash node {pos}")
+                if self.trace is not None:
+                    self.trace.record_fault(now, "crash", f"node {pos}")
+                for holders in self._holders.values():
+                    holders.discard(pos)
+                if self.assignment.ranges[pos] is None:
+                    continue  # relay-only node: no databases lost
+                remaining = self._reconfigure(now, queue, stats)
+            elif kind == _RESUME:
+                if ev.data != self._epoch:
+                    continue
+                # Copies complete now: the sources must have survived
+                # the whole restart window.
+                missing = [
+                    c for c in range(1, self.m + 1) if not self._holders.get(c)
+                ]
+                if missing:
+                    raise self._deadlock(
+                        "no replica of a needed database interval survived "
+                        f"the restart window: columns {missing[:10]}"
+                        f"{'...' if len(missing) > 10 else ''}"
+                    )
+                self._holders = {
+                    c: set(ps) - self._dead
+                    for c, ps in self._pending_holders.items()
+                }
+                for p in self.used:
+                    self._try_start(p, now, queue)
+                self._init_streams(now, queue)
+            elif kind == _CHECK:
+                p, c, ep = ev.data
+                if ep != self._epoch or p in self._dead:
+                    continue
+                e = self.ext.get(p, {}).get(c)
+                stream = self._streams.get((p, c))
+                if e is None or stream is None or e[0] >= T:
+                    continue  # stream gone or complete
+                provider, attempts, retries, last_t = stream
+                if e[0] > last_t:  # progressing normally
+                    stream[3] = e[0]
+                    queue.push(
+                        now + self._stream_timeout(p, provider), _CHECK, (p, c, ep)
+                    )
+                    continue
+                if retries >= policy.max_retries:
+                    raise self._deadlock(
+                        f"stream {provider}->{p} for column {c} stalled at "
+                        f"t={e[0]} after {retries} retries"
+                    )
+                candidates = [
+                    q
+                    for q in self.assignment.owners().get(c, ())
+                    if q not in self._dead
+                ]
+                if not candidates:
+                    raise self._deadlock(
+                        f"no live replica of column {c} left to retry from"
+                    )
+                candidates.sort(key=lambda q: (host.distance(p, q), abs(q - p), q))
+                stream[1] = attempts + 1
+                q2 = candidates[attempts % len(candidates)]
+                if q2 != provider:
+                    old = self.subscribers.get((provider, c))
+                    if old and p in old:
+                        old.remove(p)
+                    self.subscribers.setdefault((q2, c), []).append(p)
+                    stream[0] = q2
+                self._fault_log.append(
+                    f"t={now} retry: {p} re-requests column {c} (past t={e[0]}) "
+                    f"from {q2}"
+                )
+                if self.trace is not None:
+                    self.trace.record_fault(now, "retry", f"{p} col {c} from {q2}")
+                queue.push(now + max(1, host.distance(p, q2)), _REQ, (q2, p, c, e[0], ep))
+                queue.push(now + self._stream_timeout(p, q2), _CHECK, (p, c, ep))
+            elif kind == _REQ:
+                q, p, c, from_t, ep = ev.data
+                if ep != self._epoch or q in self._dead:
+                    continue
+                have = self.done.get(q, {}).get(c)
+                if have is None or have <= from_t:
+                    # Nothing undelivered at the provider: the stream was
+                    # merely slow, not faulty — no retry budget consumed.
+                    continue
+                stream = self._streams.get((p, c))
+                if stream is not None:
+                    stream[2] += 1
+                stats.retries += 1
+                step = 1 if p > q else -1
+                col_vals = self.vals[q][c]
+                for t in range(from_t + 1, have + 1):
+                    stats.messages += 1
+                    arr = hop(q, step, now)
+                    if arr is LOST:
+                        stats.lost_messages += 1
+                    else:
+                        queue.push(arr, _MSG, (q + step, (p,), c, t, col_vals[t], ep))
+            else:  # _WATCH
+                if remaining and self._progress == ev.data:
+                    raise self._deadlock(
+                        "no progress for a full watchdog window"
+                    )
+                if remaining:
+                    queue.push(now + self._watch_window(), _WATCH, self._progress)
+
+        if remaining:
+            raise self._deadlock(f"{remaining} pebbles never computed")
         return self._finish(stats, makespan)
 
     def _finish(self, stats: SimStats, makespan: int) -> ExecResult:

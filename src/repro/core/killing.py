@@ -114,6 +114,45 @@ class KillingResult:
         return [int(p) for p in np.flatnonzero(self.live)]
 
 
+def normalize_forced_dead(n: int, forced_dead) -> set[int]:
+    """Validate and canonicalise a failed-position collection.
+
+    Accepts any iterable of integer-like positions (numpy ints, lists
+    with duplicates, ...) and returns a plain ``set[int]``; rejects
+    non-integral values and positions outside ``0..n-1``.  This is the
+    single validation point shared by :func:`kill_and_label`,
+    :func:`repro.core.overlap.simulate_overlap` and the executor's
+    mid-run recovery, so every layer agrees on what "dead" means.
+    """
+    if forced_dead is None:
+        return set()
+    out: set[int] = set()
+    for p in forced_dead:
+        q = int(p)
+        if q != p:
+            raise ValueError(f"failed position {p!r} is not an integer")
+        if not 0 <= q < n:
+            raise ValueError(f"failed position {q} outside 0..{n - 1}")
+        out.add(q)
+    return out
+
+
+def validate_steps(steps) -> int:
+    """Validate a guest-step count and return it as a plain ``int``.
+
+    Shared by the executor and the simulation front-ends so "how many
+    steps" is interpreted identically everywhere (integral, >= 0).
+    """
+    if steps is None:
+        raise ValueError("steps must be an integer, got None")
+    t = int(steps)
+    if t != steps:
+        raise ValueError(f"steps must be an integer, got {steps!r}")
+    if t < 0:
+        raise ValueError("steps must be non-negative")
+    return t
+
+
 def kill_and_label(
     host: HostArray, c: float = 4.0, forced_dead: set[int] | None = None
 ) -> KillingResult:
@@ -130,11 +169,8 @@ def kill_and_label(
     params = OverlapParams.for_host(host, c)
     tree = IntervalTree(host.n)
     live = np.ones(host.n, dtype=bool)
-    if forced_dead:
-        for p in forced_dead:
-            if not 0 <= p < host.n:
-                raise ValueError(f"failed position {p} outside 0..{host.n - 1}")
-            live[p] = False
+    for p in normalize_forced_dead(host.n, forced_dead):
+        live[p] = False
     result = KillingResult(host, params, tree, live)
 
     _stage1(result)

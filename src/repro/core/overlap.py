@@ -20,12 +20,18 @@ from dataclasses import dataclass
 
 from repro.core.assignment import Assignment, assign_databases
 from repro.core.executor import ExecResult, GreedyExecutor
-from repro.core.killing import KillingResult, kill_and_label
+from repro.core.killing import (
+    KillingResult,
+    kill_and_label,
+    normalize_forced_dead,
+    validate_steps,
+)
 from repro.core.schedule import ScheduleTable, build_schedule
 from repro.core.verify import verify_execution
 from repro.machine.guest import GuestArray
 from repro.machine.host import HostArray, HostGraph
 from repro.machine.programs import CounterProgram, Program
+from repro.netsim.faults import FaultPlan, RecoveryPolicy
 from repro.topology.embedding import ArrayEmbedding, embed_linear_array
 
 
@@ -41,6 +47,7 @@ class OverlapResult:
     steps: int
     verified: bool
     embedding: ArrayEmbedding | None = None
+    faults: FaultPlan | None = None
 
     @property
     def slowdown(self) -> float:
@@ -49,8 +56,14 @@ class OverlapResult:
 
     @property
     def m(self) -> int:
-        """Guest size simulated."""
+        """Guest size simulated (initial assignment)."""
         return self.assignment.m
+
+    @property
+    def m_surviving(self) -> int:
+        """Guest size actually completed — smaller than :attr:`m` when
+        mid-run crashes forced a reduced reassignment."""
+        return self.exec_result.assignment.m
 
     @property
     def load(self) -> int:
@@ -72,7 +85,7 @@ class OverlapResult:
 
     def summary(self) -> dict:
         """Flat dict for report tables."""
-        return {
+        out = {
             "n": self.host.n,
             "n_live": self.killing.n_live,
             "m": self.m,
@@ -87,6 +100,18 @@ class OverlapResult:
             "redundancy": round(self.assignment.redundancy(), 3),
             "verified": self.verified,
         }
+        if self.faults is not None and not self.faults.is_empty:
+            stats = self.exec_result.stats
+            out.update(
+                m_surviving=self.m_surviving,
+                faults_injected=stats.faults_injected,
+                crashed_nodes=stats.crashed_nodes,
+                recoveries=stats.recoveries,
+                retries=stats.retries,
+                lost_messages=stats.lost_messages,
+                columns_lost=stats.columns_lost,
+            )
+        return out
 
 
 def default_steps(killing: KillingResult) -> int:
@@ -104,6 +129,9 @@ def simulate_overlap(
     bandwidth: int | None = None,
     verify: bool = True,
     forced_dead: set[int] | None = None,
+    faults: FaultPlan | None = None,
+    policy: RecoveryPolicy | None = None,
+    min_copies: int | None = None,
 ) -> OverlapResult:
     """Run algorithm OVERLAP on a host array.
 
@@ -129,22 +157,61 @@ def simulate_overlap(
     forced_dead:
         Failed workstations (hold no databases, still relay) — OVERLAP
         reconfigures around them like around latency-killed processors.
+    faults:
+        Optional :class:`~repro.netsim.faults.FaultPlan` injected
+        *during* the run (node crashes, link outages, jitter, drops).
+        A non-empty plan enables the executor's detection/recovery
+        machinery; an empty/absent plan is bit-identical to the
+        fault-free path.
+    policy:
+        Detection/recovery knobs (timeouts, retry budget, restart
+        penalty); default :class:`~repro.netsim.faults.RecoveryPolicy`.
+    min_copies:
+        Minimum database replicas per column (default 1).  Never
+        auto-flipped by the presence of ``faults`` — pass
+        ``min_copies=2`` explicitly so a single mid-run crash cannot
+        destroy the last replica of an interval.
     """
     program = program or CounterProgram()
+    forced_dead = normalize_forced_dead(host.n, forced_dead)
+    if steps is not None:
+        steps = validate_steps(steps)
+    copies = 1 if min_copies is None else min_copies
     killing = kill_and_label(host, c, forced_dead=forced_dead)
-    assignment = assign_databases(killing, block)
+    assignment = assign_databases(killing, block, min_copies=copies)
     if steps is None:
         steps = default_steps(killing)
-    guest = GuestArray(assignment.m, program)
-    exec_result = GreedyExecutor(host, assignment, program, steps, bandwidth).run()
+
+    def reassign(dead: frozenset) -> Assignment:
+        survivors_killing = kill_and_label(
+            host, c, forced_dead=forced_dead | set(dead)
+        )
+        return assign_databases(
+            survivors_killing, block, min_copies=max(2, copies)
+        )
+
+    exec_result = GreedyExecutor(
+        host,
+        assignment,
+        program,
+        steps,
+        bandwidth,
+        faults=faults,
+        policy=policy,
+        reassign=reassign,
+    ).run()
     schedule = build_schedule(killing.params, base_work=float(max(1, block)))
     verified = False
     if verify:
+        # Reference built *after* the run: mid-run recovery may have
+        # shrunk the guest to the surviving prefix 1..m'.
+        guest = GuestArray(exec_result.assignment.m, program)
         reference = guest.run_reference(steps)
         verify_execution(exec_result, reference, program)
         verified = True
     return OverlapResult(
-        host, killing, assignment, exec_result, schedule, steps, verified
+        host, killing, assignment, exec_result, schedule, steps, verified,
+        faults=faults,
     )
 
 

@@ -13,6 +13,7 @@ _EXPERIMENT_IDS = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
     "f1", "f2", "f3", "f4", "f5", "f6",
     "a1", "a2", "a3", "a4",
+    "r1",
     "x1", "x2", "x3", "x4",
 ]
 

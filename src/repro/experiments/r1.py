@@ -1,0 +1,108 @@
+"""R1 — robustness: slowdown vs. mid-run fault rate.
+
+Sweep the per-node crash rate on a uniform host with ``min_copies=2``
+replication and a seeded random :class:`~repro.netsim.faults.FaultPlan`
+for each rate.  Every run either completes ``verified=True`` (possibly
+on a reduced surviving guest, after epoch restarts) or raises
+:class:`~repro.core.executor.SimulationDeadlock` — never silently-wrong
+values.
+
+Expected shape: the zero-rate row is bit-identical to the fault-free
+path; degradation (slowdown relative to fault-free) grows with the
+fault rate as crashes trigger epoch restarts, and the surviving guest
+``m`` shrinks monotonically-ish with the number of crashed
+database-holding nodes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import degradation, survival_fraction
+from repro.core.executor import SimulationDeadlock
+from repro.core.overlap import simulate_overlap
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+from repro.netsim.faults import FaultPlan
+
+#: Seed for the per-rate random plans (fixed: R1 is fully deterministic).
+SEED = 1996
+
+
+def run(quick: bool = True, n: int | None = None) -> ExperimentResult:
+    """Run the fault-rate sweep."""
+    n = n or (48 if quick else 96)
+    steps = 8 if quick else 12
+    host = HostArray.uniform(n)
+
+    clean = simulate_overlap(host, steps=steps, min_copies=2, verify=True)
+    horizon = max(8, clean.exec_result.stats.makespan)
+    rates = [0.0, 0.05, 0.10, 0.15, 0.25]
+
+    rows = []
+    for i, rate in enumerate(rates):
+        plan = FaultPlan.random(
+            host.n,
+            seed=SEED + i,
+            horizon=horizon,
+            node_crash_rate=rate,
+            drop_rate=rate / 2,
+        )
+        outcome = "ok"
+        try:
+            res = simulate_overlap(
+                host, steps=steps, min_copies=2, faults=plan, verify=True
+            )
+            stats = res.exec_result.stats
+            row = {
+                "crash rate": rate,
+                "faults": len(plan),
+                "crashed": stats.crashed_nodes,
+                "m": res.m,
+                "m surviving": res.m_surviving,
+                "survival": round(survival_fraction(res.m_surviving, res.m), 3),
+                "recoveries": stats.recoveries,
+                "retries": stats.retries,
+                "lost msgs": stats.lost_messages,
+                "slowdown": round(res.slowdown, 2),
+                "degradation": round(degradation(res.slowdown, clean.slowdown), 2),
+                "verified": res.verified,
+            }
+        except SimulationDeadlock as exc:
+            outcome = "deadlock"
+            row = {
+                "crash rate": rate,
+                "faults": len(plan),
+                "crashed": len(plan.crash_positions()),
+                "m": clean.m,
+                "m surviving": 0,
+                "survival": 0.0,
+                "recoveries": 0,
+                "retries": 0,
+                "lost msgs": 0,
+                "slowdown": float("inf"),
+                "degradation": float("inf"),
+                "verified": False,
+            }
+            row["outcome"] = f"deadlock: {str(exc)[:60]}"
+        row.setdefault("outcome", outcome)
+        rows.append(row)
+
+    completed = [r for r in rows if r["outcome"] == "ok"]
+    return ExperimentResult(
+        "R1",
+        "Robustness - slowdown vs mid-run fault rate (min_copies=2)",
+        rows,
+        summary={
+            "zero-rate run identical to fault-free": (
+                rows[0]["slowdown"] == round(clean.slowdown, 2)
+                and rows[0]["m surviving"] == clean.m
+            ),
+            "every run verified or deadlocked": all(
+                r["verified"] or r["outcome"].startswith("deadlock") for r in rows
+            ),
+            "degradation grows with fault rate": (
+                len(completed) < 2
+                or completed[-1]["degradation"] >= completed[0]["degradation"]
+            ),
+            "fault-free slowdown": round(clean.slowdown, 2),
+        },
+    )

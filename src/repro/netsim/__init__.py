@@ -20,6 +20,8 @@ links    : :class:`LinkPipe`, one direction of a pipelined link.
 routing  : shortest-delay-path routing over ``networkx`` graphs.
 fabric   : :class:`Fabric` (general graphs) and :class:`LineFabric`
            (fast path specialised to linear-array hosts).
+faults   : deterministic fault injection (:class:`FaultPlan`) and the
+           executor's :class:`RecoveryPolicy`.
 stats    : run counters (pebbles computed, messages, link busy-steps).
 """
 
@@ -27,6 +29,13 @@ from repro.netsim.events import Event, EventQueue
 from repro.netsim.links import LinkPipe
 from repro.netsim.routing import Router
 from repro.netsim.fabric import Fabric, LineFabric
+from repro.netsim.faults import (
+    LOST,
+    FaultEvent,
+    FaultPlan,
+    FaultTables,
+    RecoveryPolicy,
+)
 from repro.netsim.stats import SimStats
 from repro.netsim.trace import Trace
 
@@ -37,6 +46,11 @@ __all__ = [
     "Router",
     "Fabric",
     "LineFabric",
+    "LOST",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultTables",
+    "RecoveryPolicy",
     "SimStats",
     "Trace",
 ]

@@ -23,6 +23,7 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
+from repro.netsim.faults import LOST, FaultTables
 from repro.netsim.links import LinkPipe
 from repro.netsim.routing import DELAY_ATTR, Router
 
@@ -37,21 +38,57 @@ class Fabric:
         self.graph = graph
         self.bandwidth = bandwidth
         self._pipes: dict[tuple[Hashable, Hashable], LinkPipe] = {}
-        for u, v, data in graph.edges(data=True):
+        self._edge_dir: dict[tuple[Hashable, Hashable], tuple[int, int]] = {}
+        self._faults: FaultTables | None = None
+        for idx, (u, v, data) in enumerate(graph.edges(data=True)):
             d = int(data[delay_attr])
             self._pipes[(u, v)] = LinkPipe(d, bandwidth)
             self._pipes[(v, u)] = LinkPipe(d, bandwidth)
+            self._edge_dir[(u, v)] = (idx, 1)
+            self._edge_dir[(v, u)] = (idx, -1)
 
     def pipe(self, u: Hashable, v: Hashable) -> LinkPipe:
         """The directed pipe from ``u`` to its neighbour ``v``."""
         try:
             return self._pipes[(u, v)]
         except KeyError:
-            raise KeyError(f"({u},{v}) is not a link of the host") from None
+            if u not in self.graph:
+                hint = f"node {u!r} is not in the host graph"
+            elif v not in self.graph:
+                hint = f"node {v!r} is not in the host graph"
+            else:
+                neighbours = sorted(self.graph.neighbors(u), key=repr)
+                hint = (
+                    f"{u!r} has neighbours {neighbours}; multi-hop sends must "
+                    f"follow Fabric.route({u!r}, {v!r}) edge by edge "
+                    "(or use send_along)"
+                )
+            raise KeyError(f"({u},{v}) is not a link of the host: {hint}") from None
 
     def hop(self, u: Hashable, v: Hashable, t_ready: int) -> int:
         """Inject one pebble into link ``u -> v``; return arrival time."""
         return self.pipe(u, v).inject(t_ready)
+
+    def attach_faults(self, tables: FaultTables | None) -> None:
+        """Attach per-run fault tables consulted by :meth:`hop_faulty`.
+
+        Link-fault targets are edge *indices* in the graph's edge
+        enumeration order (the order pipes were built in).
+        """
+        self._faults = tables
+
+    def hop_faulty(self, u: Hashable, v: Hashable, t_ready: int):
+        """Fault-aware :meth:`hop`: :data:`~repro.netsim.faults.LOST` on
+        a dead link / one-shot drop, jitter-inflated arrival otherwise."""
+        pipe = self.pipe(u, v)  # raises the annotated KeyError on non-links
+        outcome = 0
+        if self._faults is not None:
+            idx, direction = self._edge_dir[(u, v)]
+            outcome = self._faults.link_outcome(idx, direction, t_ready)
+        if outcome is LOST:
+            pipe.inject(t_ready)
+            return LOST
+        return pipe.inject(t_ready) + outcome
 
     def route(self, src: Hashable, dst: Hashable) -> list[Hashable]:
         """Shortest-delay route as a node list."""
@@ -109,6 +146,7 @@ class LineFabric:
         self.bandwidth = bandwidth
         self._right = [LinkPipe(d, bandwidth) for d in self.link_delays]
         self._left = [LinkPipe(d, bandwidth) for d in self.link_delays]
+        self._faults: FaultTables | None = None
         # Prefix sums of delays for O(1) distance queries.
         self._prefix = [0]
         for d in self.link_delays:
@@ -122,6 +160,27 @@ class LineFabric:
         if direction == self.LEFT:
             return self._left[pos - 1].inject(t_ready)
         raise ValueError(f"direction must be +1 or -1, got {direction}")
+
+    def attach_faults(self, tables: FaultTables | None) -> None:
+        """Attach per-run fault tables consulted by :meth:`hop_faulty`."""
+        self._faults = tables
+
+    def hop_faulty(self, pos: int, direction: int, t_ready: int):
+        """Fault-aware :meth:`hop`: returns :data:`~repro.netsim.faults.LOST`
+        when the pebble enters a dead link (or eats a one-shot drop),
+        and an arrival time inflated by any active jitter otherwise.
+
+        Lost pebbles still occupy an injection slot — the sender spent
+        the bandwidth even though the far end never sees the message.
+        """
+        link = pos if direction == self.RIGHT else pos - 1
+        outcome = 0
+        if self._faults is not None:
+            outcome = self._faults.link_outcome(link, direction, t_ready)
+        if outcome is LOST:
+            self.hop(pos, direction, t_ready)
+            return LOST
+        return self.hop(pos, direction, t_ready) + outcome
 
     def distance(self, a: int, b: int) -> int:
         """Total (uncontended) delay between positions ``a`` and ``b``."""

@@ -24,6 +24,13 @@ class SimStats:
     pebble_hops: int = 0
     idle_steps: int = 0
     procs_used: int = 0
+    # Fault/recovery counters (all zero on a fault-free run).
+    faults_injected: int = 0
+    lost_messages: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    columns_lost: int = 0
+    crashed_nodes: int = 0
     extras: dict = field(default_factory=dict)
 
     def slowdown(self, guest_steps: int) -> float:
@@ -52,6 +59,12 @@ class SimStats:
         self.pebble_hops += other.pebble_hops
         self.idle_steps += other.idle_steps
         self.procs_used = max(self.procs_used, other.procs_used)
+        self.faults_injected += other.faults_injected
+        self.lost_messages += other.lost_messages
+        self.retries += other.retries
+        self.recoveries += other.recoveries
+        self.columns_lost += other.columns_lost
+        self.crashed_nodes += other.crashed_nodes
 
     def as_dict(self) -> dict:
         """Plain-dict view for report tables."""
@@ -63,5 +76,11 @@ class SimStats:
             "pebble_hops": self.pebble_hops,
             "idle_steps": self.idle_steps,
             "procs_used": self.procs_used,
+            "faults_injected": self.faults_injected,
+            "lost_messages": self.lost_messages,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "columns_lost": self.columns_lost,
+            "crashed_nodes": self.crashed_nodes,
             **self.extras,
         }

@@ -28,10 +28,19 @@ class Trace:
     """Pebble-completion records of one run."""
 
     records: list[tuple[int, int, int, int]] = field(default_factory=list)
+    fault_marks: list[tuple[int, str, str]] = field(default_factory=list)
 
     def record(self, time: int, position: int, column: int, row: int) -> None:
         """Append one pebble completion (called by the executor)."""
         self.records.append((time, position, column, row))
+
+    def record_fault(self, time: int, kind: str, detail: str) -> None:
+        """Append one fault/recovery mark ``(time, kind, detail)``.
+
+        Only fault-aware runs ever call this; fault-free traces stay
+        byte-identical to the pre-fault layout.
+        """
+        self.fault_marks.append((time, kind, detail))
 
     @property
     def makespan(self) -> int:
@@ -109,7 +118,7 @@ class Trace:
         """Headline numbers for reports."""
         util = self.utilization()
         rows = self.row_completion_times()
-        return {
+        out = {
             "pebbles": len(self.records),
             "makespan": self.makespan,
             "positions_active": len(util),
@@ -118,3 +127,10 @@ class Trace:
             ),
             "rows_completed": len(rows),
         }
+        if self.fault_marks:
+            kinds: dict[str, int] = {}
+            for _t, kind, _d in self.fault_marks:
+                kinds[kind] = kinds.get(kind, 0) + 1
+            out["fault_marks"] = len(self.fault_marks)
+            out["fault_kinds"] = dict(sorted(kinds.items()))
+        return out

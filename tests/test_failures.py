@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.killing import kill_and_label
+from repro.core.killing import (
+    kill_and_label,
+    normalize_forced_dead,
+    validate_steps,
+)
 from repro.core.overlap import simulate_overlap
 from repro.machine.host import HostArray
 
@@ -54,3 +58,47 @@ def test_failures_near_long_link_compose_with_killing():
     host = HostArray(delays)
     res = simulate_overlap(host, steps=8, block=4, forced_dead={30, 33})
     assert res.verified
+
+
+# -- shared input normalisation (one validation point for all layers) -----
+
+
+def test_normalize_forced_dead_accepts_iterables_and_numpy_ints():
+    assert normalize_forced_dead(8, None) == set()
+    assert normalize_forced_dead(8, [3, 3, np.int64(5)]) == {3, 5}
+    assert normalize_forced_dead(8, (np.int32(0),)) == {0}
+    assert normalize_forced_dead(8, {7}) == {7}
+
+
+def test_normalize_forced_dead_rejects_bad_positions():
+    with pytest.raises(ValueError, match="outside"):
+        normalize_forced_dead(8, {8})
+    with pytest.raises(ValueError, match="outside"):
+        normalize_forced_dead(8, {-1})
+    with pytest.raises(ValueError, match="not an integer"):
+        normalize_forced_dead(8, {2.5})
+
+
+def test_validate_steps_normalises_integers():
+    assert validate_steps(0) == 0
+    assert validate_steps(np.int64(7)) == 7
+    assert validate_steps(4.0) == 4  # integral float is fine
+    with pytest.raises(ValueError, match="non-negative"):
+        validate_steps(-1)
+    with pytest.raises(ValueError, match="integer"):
+        validate_steps(2.5)
+    with pytest.raises(ValueError, match="integer"):
+        validate_steps(None)
+
+
+def test_simulate_overlap_normalises_forced_dead_and_steps():
+    host = HostArray.uniform(32, 2)
+    failed = np.array([4, 4, 9])  # duplicates + numpy dtype
+    res = simulate_overlap(host, steps=np.int64(6), forced_dead=failed)
+    assert res.verified
+    assert res.assignment.ranges[4] is None
+    assert res.assignment.ranges[9] is None
+    with pytest.raises(ValueError, match="integer"):
+        simulate_overlap(host, steps=3.5)
+    with pytest.raises(ValueError, match="outside"):
+        simulate_overlap(host, steps=4, forced_dead={32})
