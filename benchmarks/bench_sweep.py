@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Sweep-engine and executor-hot-path benchmark.
+
+Unlike the ``bench_*`` experiment benchmarks (pytest-benchmark
+wrappers), this is a standalone script — it is the perf baseline the
+PR-acceptance gates read:
+
+* **sweep throughput** — one grid of OVERLAP configs run through
+  :class:`repro.runner.SweepRunner` serially and with worker
+  processes (cache off for both); reports configs/sec and the
+  parallel-over-serial speedup;
+* **executor steps/sec** — one fixed single simulation, reporting
+  pebbles computed per wall-clock second (the inner-loop metric the
+  hot-path optimisations target).
+
+Results go to ``BENCH_sweep.json`` (``--out`` to override)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --smoke
+
+``--smoke`` shrinks the grid for CI.  The speedup assertion only
+applies when the machine actually has >= 4 CPUs (a single-core runner
+cannot parallelise compute-bound work, and the numbers say so
+honestly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np
+
+from repro.core.overlap import simulate_overlap
+from repro.machine.host import HostArray
+from repro.runner import SweepRunner
+from repro.topology.delays import scale_to_average, uniform_delays
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _bench_host(n: int, d_target: float, seed: int) -> HostArray:
+    rng = np.random.default_rng(seed)
+    return HostArray(scale_to_average(uniform_delays(n - 1, rng, 1, 8), d_target))
+
+
+def _sweep_task(cfg: dict) -> dict:
+    """One sweep grid point: a full OVERLAP simulation.
+
+    The ``seed`` key is injected by the runner's seeding contract
+    (``seed_key="seed"``), so the grid also exercises deterministic
+    content-derived seeding.
+    """
+    host = _bench_host(cfg["n"], cfg["d"], cfg["seed"] % (2**32))
+    res = simulate_overlap(host, steps=cfg["steps"], block=2, verify=False)
+    return {
+        "slowdown": res.slowdown,
+        "pebbles": res.exec_result.stats.pebbles,
+        "makespan": res.exec_result.stats.makespan,
+    }
+
+
+def bench_executor(n: int, steps: int, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` single-run executor throughput."""
+    host = _bench_host(n, 8, seed=0)
+    simulate_overlap(host, steps=max(4, steps // 4), block=2, verify=False)  # warm-up
+    best = float("inf")
+    pebbles = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = simulate_overlap(host, steps=steps, block=2, verify=False)
+        best = min(best, time.perf_counter() - t0)
+        pebbles = res.exec_result.stats.pebbles
+    return {
+        "n": n,
+        "steps": steps,
+        "pebbles": pebbles,
+        "best_wall_s": round(best, 4),
+        "steps_per_sec": round(pebbles / best, 1),
+    }
+
+
+def bench_sweep(n_configs: int, n: int, steps: int, workers: int) -> dict:
+    """Serial vs parallel throughput over one config grid (cache off)."""
+    configs = [
+        {"n": n, "steps": steps, "d": d}
+        for d in [1, 2, 4, 8] * ((n_configs + 3) // 4)
+    ][:n_configs]
+
+    serial = SweepRunner(workers=1)
+    serial_results = serial.map(_sweep_task, configs, seed_key="seed")
+    serial_s = serial.last_elapsed
+
+    parallel = SweepRunner(workers=workers)
+    parallel_results = parallel.map(_sweep_task, configs, seed_key="seed")
+    parallel_s = parallel.last_elapsed
+
+    if serial_results != parallel_results:
+        raise AssertionError("parallel sweep results differ from serial — determinism bug")
+    return {
+        "configs": len(configs),
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "serial_throughput": round(len(configs) / serial_s, 3),
+        "parallel_throughput": round(len(configs) / parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+        "results_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small CI-sized grid")
+    parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="output JSON path (default: repo-root BENCH_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    if args.smoke:
+        exec_cfg = {"n": 96, "steps": 12}
+        sweep_cfg = {"n_configs": 8, "n": 96, "steps": 12}
+    else:
+        exec_cfg = {"n": 192, "steps": 24}
+        sweep_cfg = {"n_configs": 16, "n": 128, "steps": 16}
+
+    print(f"[bench_sweep] cpus={cpus} workers={args.workers} smoke={args.smoke}")
+    executor = bench_executor(**exec_cfg)
+    print(
+        f"[bench_sweep] executor: {executor['pebbles']} pebbles in "
+        f"{executor['best_wall_s']}s -> {executor['steps_per_sec']:,} steps/sec"
+    )
+    sweep_res = bench_sweep(workers=args.workers, **sweep_cfg)
+    print(
+        f"[bench_sweep] sweep: serial {sweep_res['serial_s']}s, "
+        f"{args.workers} workers {sweep_res['parallel_s']}s "
+        f"-> speedup {sweep_res['speedup']}x"
+    )
+
+    payload = {
+        "bench": "sweep",
+        "smoke": args.smoke,
+        "cpus": cpus,
+        "python": sys.version.split()[0],
+        "executor": executor,
+        "sweep": sweep_res,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_sweep] wrote {out}")
+
+    if cpus >= 4 and args.workers >= 4 and sweep_res["speedup"] < 2.0:
+        print(
+            f"[bench_sweep] FAIL: speedup {sweep_res['speedup']}x < 2x "
+            f"on a {cpus}-cpu machine",
+            file=sys.stderr,
+        )
+        return 1
+    if cpus < 4:
+        print(
+            f"[bench_sweep] note: only {cpus} cpu(s) visible — speedup gate "
+            "skipped (parallelism cannot beat the hardware)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,8 @@ import pathlib
 import sys
 
 from repro import __version__
-from repro.experiments import get_experiment, list_experiments
+from repro.experiments import get_experiment, list_experiments, run_experiment
+from repro.runner import default_cache_dir
 
 _TITLES = {
     "e1": "Theorem 2  - OVERLAP slowdown O(d_ave log^3 n)",
@@ -58,13 +59,22 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    """SweepRunner knobs shared by ``run`` and ``all``."""
+    return {
+        "workers": args.workers,
+        "cache_dir": None if args.no_cache else default_cache_dir(),
+        "progress": args.progress,
+    }
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
-        run = get_experiment(args.id)
+        get_experiment(args.id)
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    result = run(quick=not args.full)
+    result = run_experiment(args.id, quick=not args.full, **_sweep_kwargs(args))
     result.print()
     return 0
 
@@ -73,8 +83,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
     out = pathlib.Path(args.out) if args.out else None
     if out:
         out.mkdir(parents=True, exist_ok=True)
+    sweep_kwargs = _sweep_kwargs(args)
     for exp_id in list_experiments():
-        result = get_experiment(exp_id)(quick=not args.full)
+        result = run_experiment(exp_id, quick=not args.full, **sweep_kwargs)
         result.print()
         if out:
             (out / f"{exp_id}.txt").write_text(result.render() + "\n")
@@ -168,11 +179,32 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
+    def add_sweep_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for parameter sweeps (default 1; "
+            "the result table is identical at any worker count)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help=f"disable the sweep result cache ({default_cache_dir()}/)",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="print per-config sweep progress/ETA to stderr",
+        )
+
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("id", help="experiment id (e1..e10, f1..f6)")
     p_run.add_argument(
         "--full", action="store_true", help="bigger sweeps (slower, sharper shapes)"
     )
+    add_sweep_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_all = sub.add_parser("all", help="run every experiment")
@@ -181,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument(
         "--json", action="store_true", help="also write <id>.json next to each .txt"
     )
+    add_sweep_flags(p_all)
     p_all.set_defaults(func=_cmd_all)
 
     p_trace = sub.add_parser(

@@ -223,6 +223,10 @@ def simulate_overlap_on_graph(
     block: int = 1,
     bandwidth: int | None = None,
     verify: bool = True,
+    forced_dead: set | None = None,
+    faults: FaultPlan | None = None,
+    policy: RecoveryPolicy | None = None,
+    min_copies: int | None = None,
 ) -> OverlapResult:
     """Theorem 6: OVERLAP on an arbitrary connected host network.
 
@@ -230,10 +234,41 @@ def simulate_overlap_on_graph(
     embedding; for a bounded-degree host the induced array's average
     delay is within a constant factor of the host's, so Theorem 5's
     slowdown carries over.
+
+    ``forced_dead`` names failed workstations as host *graph nodes*;
+    they are translated to embedded-array positions before OVERLAP
+    reconfigures around them.  ``faults``, ``policy`` and ``min_copies``
+    behave exactly as in :func:`simulate_overlap`; a
+    :class:`~repro.netsim.faults.FaultPlan`'s targets are interpreted in
+    embedded-array coordinates (position ``j`` = ``embedding.order[j]``,
+    link ``j`` = the tree path between consecutive embedded nodes) —
+    call :func:`~repro.topology.embedding.embed_linear_array` on the
+    host first to aim a plan at specific graph nodes, the embedding is
+    deterministic.
     """
     embedding = embed_linear_array(host)
     array = embedding.host_array(name=f"embed({host.name})")
-    result = simulate_overlap(array, program, steps, c, block, bandwidth, verify)
+    if forced_dead:
+        position_of = embedding.position_of()
+        unknown = [v for v in forced_dead if v not in position_of]
+        if unknown:
+            raise ValueError(
+                f"forced_dead nodes not in the host graph: {sorted(unknown, key=repr)}"
+            )
+        forced_dead = {position_of[v] for v in forced_dead}
+    result = simulate_overlap(
+        array,
+        program,
+        steps,
+        c,
+        block,
+        bandwidth,
+        verify,
+        forced_dead=forced_dead,
+        faults=faults,
+        policy=policy,
+        min_copies=min_copies,
+    )
     result.embedding = embedding
     return result
 

@@ -30,6 +30,16 @@ Experiment ids (see DESIGN.md section 4):
 =====  ==============================================================
 """
 
-from repro.experiments.base import ExperimentResult, get_experiment, list_experiments
+from repro.experiments.base import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 
-__all__ = ["ExperimentResult", "get_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -74,3 +74,28 @@ def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
         raise KeyError(f"unknown experiment {exp_id!r}; known: {_EXPERIMENT_IDS}")
     mod = importlib.import_module(f"repro.experiments.{exp_id}")
     return mod.run
+
+
+def run_experiment(
+    exp_id: str,
+    quick: bool = True,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+    progress: bool = False,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment through the sweep engine.
+
+    Every experiment executes inside an ambient
+    :class:`~repro.runner.SweepRunner` configured here, so parameter
+    grids routed through :func:`repro.runner.sweep` fan out across
+    ``workers`` processes and reuse the content-hash cache at
+    ``cache_dir`` (``None`` disables caching).  The result table is
+    bit-for-bit identical at every worker count.
+    """
+    from repro.runner import SweepRunner, using
+
+    run = get_experiment(exp_id)
+    engine = SweepRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+    with using(engine):
+        return run(quick=quick, **kwargs)

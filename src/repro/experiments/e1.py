@@ -7,6 +7,12 @@ Two sweeps on the blocked OVERLAP simulation:
   explicit schedule bound at every point;
 * ``n`` sweep at fixed ``d_ave``: growth should be polylogarithmic
   (slowdown per ``d_ave`` grows far slower than ``n``).
+
+Both grids run through :func:`repro.runner.sweep`, so ``--workers``
+fans the points across processes and identical configs are served from
+the sweep cache; every grid point is a pure function of its config
+(fixed host seeds), which keeps the table bit-for-bit identical at any
+worker count.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from repro.analysis.scaling import fit_power_law
 from repro.core.overlap import simulate_overlap
 from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
+from repro.runner import sweep
 from repro.topology.delays import scale_to_average, uniform_delays
 
 
@@ -26,60 +33,80 @@ def _host(n: int, d_target: float, seed: int = 0) -> HostArray:
     return HostArray(scale_to_average(raw, d_target))
 
 
+def _d_point(cfg: dict) -> dict:
+    """One ``d_ave``-sweep grid point (sweep task)."""
+    n, d = cfg["n"], cfg["d"]
+    host = _host(n, d) if d > 1 else HostArray.uniform(n, 1)
+    res = simulate_overlap(host, steps=cfg["steps"], block=2, verify=cfg["verify"])
+    return {
+        "row": {
+            "sweep": "d_ave",
+            "n": n,
+            "d_ave": round(host.d_ave, 2),
+            "d_max": host.d_max,
+            "m": res.m,
+            "slowdown": round(res.slowdown, 2),
+            "bound": round(res.schedule_slowdown_bound(), 1),
+            "load": res.load,
+            "verified": res.verified,
+        },
+        "x": max(1.0, host.d_ave),
+        "y": res.slowdown,
+    }
+
+
+def _n_point(cfg: dict) -> dict:
+    """One ``n``-sweep grid point (sweep task)."""
+    nn = cfg["n"]
+    host = _host(nn, 4, seed=1)
+    res = simulate_overlap(host, steps=cfg["steps"], block=2, verify=False)
+    degenerate = res.schedule.k_max == 0  # theory needs n >> c log n
+    bound = res.schedule_slowdown_bound()
+    return {
+        "row": {
+            "sweep": "n",
+            "n": nn,
+            "d_ave": round(host.d_ave, 2),
+            "d_max": host.d_max,
+            "m": res.m,
+            "slowdown": round(res.slowdown, 2),
+            "bound": "n/a" if degenerate else round(bound, 1),
+            "load": res.load,
+            "verified": res.verified,
+        },
+        "x": nn,
+        "y": res.slowdown,
+        "bound_ok": None if degenerate else res.slowdown <= bound,
+    }
+
+
 def run(quick: bool = True) -> ExperimentResult:
     """Run the Theorem-2 sweeps."""
     n = 96 if quick else 192
     steps = 12 if quick else 24
     d_values = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32]
 
-    rows = []
-    ds, slows = [], []
-    for d in d_values:
-        host = _host(n, d) if d > 1 else HostArray.uniform(n, 1)
-        res = simulate_overlap(host, steps=steps, block=2, verify=quick)
-        rows.append(
-            {
-                "sweep": "d_ave",
-                "n": n,
-                "d_ave": round(host.d_ave, 2),
-                "d_max": host.d_max,
-                "m": res.m,
-                "slowdown": round(res.slowdown, 2),
-                "bound": round(res.schedule_slowdown_bound(), 1),
-                "load": res.load,
-                "verified": res.verified,
-            }
-        )
-        ds.append(max(1.0, host.d_ave))
-        slows.append(res.slowdown)
+    d_points = sweep(
+        _d_point,
+        [{"n": n, "steps": steps, "d": d, "verify": quick} for d in d_values],
+    )
+    rows = [pt["row"] for pt in d_points]
+    ds = [pt["x"] for pt in d_points]
+    slows = [pt["y"] for pt in d_points]
     # Fit the tail: at small d the per-pebble compute term dominates
     # and flattens the curve; the theorem is about the latency term.
     fit_d = fit_power_law(ds[-3:], slows[-3:])
 
-    ns, nslows = [], []
-    bound_ok = []
-    for nn in ([32, 64, 128] if quick else [32, 64, 128, 256, 512]):
-        host = _host(nn, 4, seed=1)
-        res = simulate_overlap(host, steps=steps, block=2, verify=False)
-        degenerate = res.schedule.k_max == 0  # theory needs n >> c log n
-        rows.append(
-            {
-                "sweep": "n",
-                "n": nn,
-                "d_ave": round(host.d_ave, 2),
-                "d_max": host.d_max,
-                "m": res.m,
-                "slowdown": round(res.slowdown, 2),
-                "bound": "n/a" if degenerate else round(res.schedule_slowdown_bound(), 1),
-                "load": res.load,
-                "verified": res.verified,
-            }
-        )
-        if not degenerate:
-            bound_ok.append(res.slowdown <= res.schedule_slowdown_bound())
-        ns.append(nn)
-        nslows.append(res.slowdown)
-    fit_n = fit_power_law(ns, nslows)
+    n_points = sweep(
+        _n_point,
+        [
+            {"n": nn, "steps": steps}
+            for nn in ([32, 64, 128] if quick else [32, 64, 128, 256, 512])
+        ],
+    )
+    rows.extend(pt["row"] for pt in n_points)
+    bound_ok = [pt["bound_ok"] for pt in n_points if pt["bound_ok"] is not None]
+    fit_n = fit_power_law([pt["x"] for pt in n_points], [pt["y"] for pt in n_points])
 
     below_bound = all(
         r["slowdown"] <= r["bound"]

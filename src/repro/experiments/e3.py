@@ -1,9 +1,10 @@
 """E3 — Theorem 4: slowdown ``O(sqrt(d))`` on uniform-delay hosts.
 
-Delay sweep with the ``P_j`` block assignment.  Checks: measured
-slowdown stays below the explicit 5d-per-round phased bound, the
-``slowdown / sqrt(d)`` column is flat, and the log-log exponent is
-~0.5 (the matching lower bound ``Omega(sqrt(d))`` is from [2]).
+Delay sweep with the ``P_j`` block assignment, fanned out through
+:func:`repro.runner.sweep`.  Checks: measured slowdown stays below the
+explicit 5d-per-round phased bound, the ``slowdown / sqrt(d)`` column
+is flat, and the log-log exponent is ~0.5 (the matching lower bound
+``Omega(sqrt(d))`` is from [2]).
 """
 
 from __future__ import annotations
@@ -11,6 +12,31 @@ from __future__ import annotations
 from repro.analysis.scaling import fit_power_law
 from repro.core.uniform import block_width, phased_bound, simulate_uniform
 from repro.experiments.base import ExperimentResult
+from repro.runner import sweep
+
+
+def _point(cfg: dict) -> dict:
+    """One delay-sweep grid point (sweep task)."""
+    n, d = cfg["n"], cfg["d"]
+    q = block_width(d)
+    steps = 2 * q
+    res = simulate_uniform(n, d, steps=steps, verify=cfg["verify"])
+    bound = phased_bound(d, steps, q, res.host.default_bandwidth()) / steps
+    return {
+        "row": {
+            "d": d,
+            "q=sqrt(d)": q,
+            "m": res.assignment.m,
+            "steps": steps,
+            "slowdown": round(res.slowdown, 2),
+            "slow/sqrt(d)": round(res.normalized(), 2),
+            "phased bound": round(bound, 1),
+            "naive (d+1)": d + 1,
+            "verified": res.verified,
+        },
+        "x": d,
+        "y": res.slowdown,
+    }
 
 
 def run(quick: bool = True) -> ExperimentResult:
@@ -18,29 +44,16 @@ def run(quick: bool = True) -> ExperimentResult:
     n = 6 if quick else 10
     d_values = [4, 16, 64, 256] if quick else [4, 16, 64, 256, 1024]
 
-    rows, ds, slows = [], [], []
-    for d in d_values:
-        q = block_width(d)
-        steps = 2 * q
-        res = simulate_uniform(n, d, steps=steps, verify=(d <= 64 or not quick))
-        bound = phased_bound(d, steps, q, res.host.default_bandwidth()) / steps
-        rows.append(
-            {
-                "d": d,
-                "q=sqrt(d)": q,
-                "m": res.assignment.m,
-                "steps": steps,
-                "slowdown": round(res.slowdown, 2),
-                "slow/sqrt(d)": round(res.normalized(), 2),
-                "phased bound": round(bound, 1),
-                "naive (d+1)": d + 1,
-                "verified": res.verified,
-            }
-        )
-        ds.append(d)
-        slows.append(res.slowdown)
+    points = sweep(
+        _point,
+        [
+            {"n": n, "d": d, "verify": (d <= 64 or not quick)}
+            for d in d_values
+        ],
+    )
+    rows = [pt["row"] for pt in points]
 
-    fit = fit_power_law(ds, slows)
+    fit = fit_power_law([pt["x"] for pt in points], [pt["y"] for pt in points])
     return ExperimentResult(
         "E3",
         "Theorem 4 - sqrt(d) slowdown on uniform-delay hosts",

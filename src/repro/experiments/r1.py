@@ -22,9 +22,67 @@ from repro.core.overlap import simulate_overlap
 from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
 from repro.netsim.faults import FaultPlan
+from repro.runner import sweep
 
 #: Seed for the per-rate random plans (fixed: R1 is fully deterministic).
 SEED = 1996
+
+
+def _rate_point(cfg: dict) -> dict:
+    """One fault-rate grid point (sweep task).
+
+    The config carries everything the point depends on — including the
+    clean-run slowdown/guest size the degradation columns are relative
+    to — so the cache key captures the full input state.
+    """
+    host = HostArray.uniform(cfg["n"])
+    rate = cfg["rate"]
+    plan = FaultPlan.random(
+        host.n,
+        seed=cfg["seed"],
+        horizon=cfg["horizon"],
+        node_crash_rate=rate,
+        drop_rate=rate / 2,
+    )
+    outcome = "ok"
+    try:
+        res = simulate_overlap(
+            host, steps=cfg["steps"], min_copies=2, faults=plan, verify=True
+        )
+        stats = res.exec_result.stats
+        row = {
+            "crash rate": rate,
+            "faults": len(plan),
+            "crashed": stats.crashed_nodes,
+            "m": res.m,
+            "m surviving": res.m_surviving,
+            "survival": round(survival_fraction(res.m_surviving, res.m), 3),
+            "recoveries": stats.recoveries,
+            "retries": stats.retries,
+            "lost msgs": stats.lost_messages,
+            "slowdown": round(res.slowdown, 2),
+            "degradation": round(degradation(res.slowdown, cfg["clean_slowdown"]), 2),
+            "verified": res.verified,
+        }
+    except SimulationDeadlock as exc:
+        outcome = "deadlock"
+        row = {
+            "crash rate": rate,
+            "faults": len(plan),
+            "crashed": len(plan.crash_positions()),
+            "m": cfg["clean_m"],
+            "m surviving": 0,
+            "survival": 0.0,
+            "recoveries": 0,
+            "retries": 0,
+            "lost msgs": 0,
+            "slowdown": float("inf"),
+            "degradation": float("inf"),
+            "verified": False,
+        }
+        row["outcome"] = f"deadlock: {str(exc)[:60]}"
+    row.setdefault("outcome", outcome)
+    return row
 
 
 def run(quick: bool = True, n: int | None = None) -> ExperimentResult:
@@ -37,54 +95,21 @@ def run(quick: bool = True, n: int | None = None) -> ExperimentResult:
     horizon = max(8, clean.exec_result.stats.makespan)
     rates = [0.0, 0.05, 0.10, 0.15, 0.25]
 
-    rows = []
-    for i, rate in enumerate(rates):
-        plan = FaultPlan.random(
-            host.n,
-            seed=SEED + i,
-            horizon=horizon,
-            node_crash_rate=rate,
-            drop_rate=rate / 2,
-        )
-        outcome = "ok"
-        try:
-            res = simulate_overlap(
-                host, steps=steps, min_copies=2, faults=plan, verify=True
-            )
-            stats = res.exec_result.stats
-            row = {
-                "crash rate": rate,
-                "faults": len(plan),
-                "crashed": stats.crashed_nodes,
-                "m": res.m,
-                "m surviving": res.m_surviving,
-                "survival": round(survival_fraction(res.m_surviving, res.m), 3),
-                "recoveries": stats.recoveries,
-                "retries": stats.retries,
-                "lost msgs": stats.lost_messages,
-                "slowdown": round(res.slowdown, 2),
-                "degradation": round(degradation(res.slowdown, clean.slowdown), 2),
-                "verified": res.verified,
+    rows = sweep(
+        _rate_point,
+        [
+            {
+                "n": n,
+                "steps": steps,
+                "rate": rate,
+                "seed": SEED + i,
+                "horizon": horizon,
+                "clean_slowdown": clean.slowdown,
+                "clean_m": clean.m,
             }
-        except SimulationDeadlock as exc:
-            outcome = "deadlock"
-            row = {
-                "crash rate": rate,
-                "faults": len(plan),
-                "crashed": len(plan.crash_positions()),
-                "m": clean.m,
-                "m surviving": 0,
-                "survival": 0.0,
-                "recoveries": 0,
-                "retries": 0,
-                "lost msgs": 0,
-                "slowdown": float("inf"),
-                "degradation": float("inf"),
-                "verified": False,
-            }
-            row["outcome"] = f"deadlock: {str(exc)[:60]}"
-        row.setdefault("outcome", outcome)
-        rows.append(row)
+            for i, rate in enumerate(rates)
+        ],
+    )
 
     completed = [r for r in rows if r["outcome"] == "ok"]
     return ExperimentResult(

@@ -40,6 +40,13 @@ class Fabric:
         self._pipes: dict[tuple[Hashable, Hashable], LinkPipe] = {}
         self._edge_dir: dict[tuple[Hashable, Hashable], tuple[int, int]] = {}
         self._faults: FaultTables | None = None
+        # Flat per-(src, dst) memos over Router's per-source tables: the
+        # executors ask for the same few routes millions of times, and a
+        # single dict hit beats the router's two-level lookup.
+        self._route_cache: dict[tuple[Hashable, Hashable], list[Hashable]] = {}
+        self._delay_cache: dict[tuple[Hashable, Hashable], int] = {}
+        # Last arrival handed out per directed link (monotone-delivery clamp).
+        self._last_out: dict[tuple[Hashable, Hashable], int] = {}
         for idx, (u, v, data) in enumerate(graph.edges(data=True)):
             d = int(data[delay_attr])
             self._pipes[(u, v)] = LinkPipe(d, bandwidth)
@@ -79,7 +86,13 @@ class Fabric:
 
     def hop_faulty(self, u: Hashable, v: Hashable, t_ready: int):
         """Fault-aware :meth:`hop`: :data:`~repro.netsim.faults.LOST` on
-        a dead link / one-shot drop, jitter-inflated arrival otherwise."""
+        a dead link / one-shot drop, jitter-inflated arrival otherwise.
+
+        Links are FIFO: a jitter window ending mid-stream must not let a
+        later pebble overtake an earlier, jitter-inflated one — arrivals
+        are clamped to stay monotone per directed link so downstream
+        pipes never see a non-monotone ``t_ready``.
+        """
         pipe = self.pipe(u, v)  # raises the annotated KeyError on non-links
         outcome = 0
         if self._faults is not None:
@@ -88,15 +101,32 @@ class Fabric:
         if outcome is LOST:
             pipe.inject(t_ready)
             return LOST
-        return pipe.inject(t_ready) + outcome
+        arrival = pipe.inject(t_ready) + outcome
+        key = (u, v)
+        prev = self._last_out.get(key, 0)
+        if arrival < prev:
+            arrival = prev
+        else:
+            self._last_out[key] = arrival
+        return arrival
 
     def route(self, src: Hashable, dst: Hashable) -> list[Hashable]:
         """Shortest-delay route as a node list."""
-        return self.router.path(src, dst)
+        key = (src, dst)
+        path = self._route_cache.get(key)
+        if path is None:
+            path = self.router.path(src, dst)
+            self._route_cache[key] = path
+        return path
 
     def route_delay(self, src: Hashable, dst: Hashable) -> int:
         """Sum of delays along :meth:`route` (uncontended transit time)."""
-        return self.router.delay(src, dst)
+        key = (src, dst)
+        delay = self._delay_cache.get(key)
+        if delay is None:
+            delay = self.router.delay(src, dst)
+            self._delay_cache[key] = delay
+        return delay
 
     def send_along(self, path: Sequence[Hashable], t_ready: int) -> int:
         """Send one pebble along an explicit path, hop by hop, with no
@@ -115,6 +145,7 @@ class Fabric:
         """Reset every pipe to idle (between repeated runs)."""
         for pipe in self._pipes.values():
             pipe.reset()
+        self._last_out.clear()
 
     @property
     def total_injections(self) -> int:
@@ -147,6 +178,8 @@ class LineFabric:
         self._right = [LinkPipe(d, bandwidth) for d in self.link_delays]
         self._left = [LinkPipe(d, bandwidth) for d in self.link_delays]
         self._faults: FaultTables | None = None
+        # Last arrival handed out per directed link (monotone-delivery clamp).
+        self._last_out: dict[tuple[int, int], int] = {}
         # Prefix sums of delays for O(1) distance queries.
         self._prefix = [0]
         for d in self.link_delays:
@@ -161,6 +194,18 @@ class LineFabric:
             return self._left[pos - 1].inject(t_ready)
         raise ValueError(f"direction must be +1 or -1, got {direction}")
 
+    def hop_many(self, pos: int, direction: int, t_ready: int, count: int) -> list[int]:
+        """Inject ``count`` pebbles at ``pos`` heading ``direction``, all
+        ready at ``t_ready`` (a whole-stream send); return their arrival
+        times in injection order.  Identical slot assignment to ``count``
+        :meth:`hop` calls, via :meth:`~repro.netsim.links.LinkPipe.inject_many`.
+        """
+        if direction == self.RIGHT:
+            return self._right[pos].inject_many(t_ready, count)
+        if direction == self.LEFT:
+            return self._left[pos - 1].inject_many(t_ready, count)
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+
     def attach_faults(self, tables: FaultTables | None) -> None:
         """Attach per-run fault tables consulted by :meth:`hop_faulty`."""
         self._faults = tables
@@ -172,6 +217,13 @@ class LineFabric:
 
         Lost pebbles still occupy an injection slot — the sender spent
         the bandwidth even though the far end never sees the message.
+
+        Links are FIFO: arrivals are clamped to stay monotone per
+        directed link, so a jitter window ending mid-stream cannot let a
+        later pebble's un-jittered arrival precede an earlier inflated
+        one (which would feed non-monotone ``t_ready`` into downstream
+        pipes and trip the :class:`~repro.netsim.links.LinkPipe`
+        monotonicity assertion).
         """
         link = pos if direction == self.RIGHT else pos - 1
         outcome = 0
@@ -180,7 +232,14 @@ class LineFabric:
         if outcome is LOST:
             self.hop(pos, direction, t_ready)
             return LOST
-        return self.hop(pos, direction, t_ready) + outcome
+        arrival = self.hop(pos, direction, t_ready) + outcome
+        key = (link, direction)
+        prev = self._last_out.get(key, 0)
+        if arrival < prev:
+            arrival = prev
+        else:
+            self._last_out[key] = arrival
+        return arrival
 
     def distance(self, a: int, b: int) -> int:
         """Total (uncontended) delay between positions ``a`` and ``b``."""
@@ -207,6 +266,7 @@ class LineFabric:
             pipe.reset()
         for pipe in self._left:
             pipe.reset()
+        self._last_out.clear()
 
     @property
     def total_injections(self) -> int:

@@ -76,8 +76,52 @@ class LinkPipe:
         """Lifetime number of pebbles injected into this pipe."""
         return self._injected
 
+    def inject_many(self, t_ready: int, count: int) -> list[int]:
+        """Inject ``count`` pebbles all ready at ``t_ready`` in one call.
+
+        Equivalent to ``count`` successive :meth:`inject` calls with the
+        same ``t_ready`` (identical slot assignment and arrival times)
+        but without the per-call overhead — the batched path whole-stream
+        sends use.  Returns the arrival times in injection order.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return []
+        if t_ready < self._last_ready:
+            raise AssertionError(
+                f"non-monotone injection: t_ready={t_ready} after {self._last_ready}"
+            )
+        self._last_ready = t_ready
+        bw = self.bandwidth
+        slot_time = self._slot_time
+        slot_used = self._slot_used
+        if t_ready > slot_time:
+            slot_time = t_ready
+            slot_used = 0
+        delay = self.delay
+        arrivals = []
+        append = arrivals.append
+        for _ in range(count):
+            if slot_used < bw:
+                slot_used += 1
+            else:
+                slot_time += 1
+                slot_used = 1
+            append(slot_time + delay)
+        self._slot_time = slot_time
+        self._slot_used = slot_used
+        self._injected += count
+        return arrivals
+
     def busy_until(self) -> int:
-        """First step at which a new injection would not queue."""
+        """First step at which a new injection would not queue.
+
+        An idle (fresh or reset) pipe reports ``0`` — schedulers must
+        never see a negative ready time.
+        """
+        if self._slot_time < 0:
+            return 0
         if self._slot_used >= self.bandwidth:
             return self._slot_time + 1
         return self._slot_time

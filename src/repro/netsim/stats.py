@@ -65,6 +65,20 @@ class SimStats:
         self.recoveries += other.recoveries
         self.columns_lost += other.columns_lost
         self.crashed_nodes += other.crashed_nodes
+        # ``extras`` carries experiment-specific counters: numeric values
+        # accumulate like the built-in counters, anything else (labels,
+        # bools, nested structures) is last-writer-wins.
+        for key, value in other.extras.items():
+            current = self.extras.get(key)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and isinstance(current, (int, float))
+                and not isinstance(current, bool)
+            ):
+                self.extras[key] = current + value
+            else:
+                self.extras[key] = value
 
     def as_dict(self) -> dict:
         """Plain-dict view for report tables."""

@@ -1,0 +1,331 @@
+"""Parallel experiment-sweep engine.
+
+Every experiment in this repository is, at heart, a map over a grid of
+simulation configs — ``(host, c, block, bandwidth, seed, faults)``
+points fed one by one to :func:`repro.core.overlap.simulate_overlap`
+or a sibling.  The seed code ran those grids serially, so reproducing
+the paper's scaling curves was wall-clock bound by a single core.
+:class:`SweepRunner` fixes that:
+
+* **parallel fan-out** — configs are distributed across worker
+  *processes* (the work is pure Python compute, so threads would
+  serialise on the GIL); results come back in config order, so a sweep
+  is bit-for-bit identical at any worker count;
+* **deterministic seeding** — :func:`config_seed` derives a stable
+  64-bit seed from the *content* of a config (SHA-256 over its
+  canonical JSON), so a config always runs with the same seed no matter
+  which worker picks it up, in which order, on which machine;
+* **result cache** — finished configs are stored as JSON keyed by a
+  content hash of ``(task, version, config)``; re-running an identical
+  sweep (across invocations, e.g. after editing one grid point) skips
+  straight to the cached rows;
+* **progress/ETA** — coarse per-config progress on stderr for the long
+  ``--full`` sweeps.
+
+Contract for task functions
+---------------------------
+A task is a **module-level function** taking one JSON-serialisable
+``dict`` config and returning a JSON-serialisable result (rows of
+scalars, typically).  Module-level matters for two reasons: worker
+processes import the task by qualified name, and the cache keys results
+by that name.  All randomness inside a task must derive from values in
+the config (pass ``seed_key=...`` to have the runner inject a
+content-derived seed) — that, plus the simulator's own determinism, is
+what makes worker count irrelevant to the output.
+
+Results are round-tripped through JSON even on a cache miss, so a
+fresh run and a cache hit are indistinguishable (tuples become lists,
+ints stay ints), and a task that returns something non-serialisable
+fails loudly on the first run, not on the first cache hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Sequence
+
+#: Default cache location; override per-runner or with $REPRO_SWEEP_CACHE.
+DEFAULT_CACHE_DIR = ".sweep_cache"
+
+_SEED_MOD = 2**63
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    The canonical form is the basis of both cache keys and derived
+    seeds, so it must be stable across Python versions and platforms;
+    plain ``json`` with sorted keys is.  Non-JSON types are a
+    ``TypeError`` — configs are data, not objects.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(task: str, version: str, config: dict) -> str:
+    """Content hash identifying one ``(task, version, config)`` run."""
+    payload = canonical_json([task, version, config])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_seed(config: dict, salt: str = "") -> int:
+    """Deterministic 63-bit seed derived from a config's content.
+
+    The same config always yields the same seed — on every worker, in
+    every process, on every machine — which is the seeding contract
+    that makes parallel sweeps reproducible.  ``salt`` derives
+    independent seed streams from the same config.
+    """
+    payload = canonical_json([salt, config])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_MOD
+
+
+class SweepCache:
+    """Content-addressed JSON store for finished sweep configs.
+
+    One file per config under ``root/<hh>/<hash>.json`` holding the
+    config (for debuggability) and its result.  Writes are
+    atomic-rename so a killed run never leaves a truncated entry.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        (Tasks return rows/dicts, never bare ``None`` — the runner
+        rejects a ``None`` result at ``put`` time to keep this
+        unambiguous.)
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return entry.get("result")
+
+    def put(self, key: str, config: dict, result) -> None:
+        """Store ``result`` for ``key`` (atomic write)."""
+        if result is None:
+            raise ValueError("sweep tasks must not return None (reserved for cache misses)")
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"config": config, "result": result}, fh)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+class _Progress:
+    """Coarse per-config progress/ETA line on a stream."""
+
+    def __init__(self, total: int, label: str, stream) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream
+        self.done = 0
+        self.t0 = time.perf_counter()
+
+    def step(self, cached: bool = False) -> None:
+        self.done += 1
+        elapsed = time.perf_counter() - self.t0
+        if self.done < self.total:
+            eta = elapsed / self.done * (self.total - self.done)
+            eta_txt = f" eta {eta:.1f}s"
+        else:
+            eta_txt = ""
+        tag = " (cached)" if cached else ""
+        self.stream.write(
+            f"\r[sweep {self.label}] {self.done}/{self.total} "
+            f"elapsed {elapsed:.1f}s{eta_txt}{tag}    "
+        )
+        if self.done == self.total:
+            self.stream.write("\n")
+        self.stream.flush()
+
+
+class SweepRunner:
+    """Fan a grid of configs across worker processes, with caching.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes (``None`` or 1 = run inline, no pool).  The
+        result of :meth:`map` is identical for every value — only the
+        wall clock changes.
+    cache_dir:
+        Directory for the :class:`SweepCache` (``None`` disables
+        caching entirely).
+    progress:
+        Emit per-config progress/ETA lines to ``stream`` (stderr).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        progress: bool = False,
+        stream=None,
+    ) -> None:
+        self.workers = max(1, int(workers or 1))
+        self.cache = SweepCache(cache_dir) if cache_dir else None
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        # Filled by the last map() call — cheap instrumentation for
+        # benchmarks and tests.
+        self.last_hits = 0
+        self.last_misses = 0
+        self.last_elapsed = 0.0
+
+    def map(
+        self,
+        fn: Callable[[dict], object],
+        configs: Iterable[dict],
+        version: str = "1",
+        seed_key: str | None = None,
+    ) -> list:
+        """Run ``fn`` over ``configs``; results in config order.
+
+        ``version`` is a cache-busting tag — bump it when the task's
+        semantics change so stale entries are ignored.  ``seed_key``
+        opts into the seeding contract: any config missing that key
+        gets ``config_seed(config)`` injected under it before the task
+        (or the cache) sees it.
+        """
+        configs = [dict(cfg) for cfg in configs]
+        if seed_key is not None:
+            for cfg in configs:
+                if seed_key not in cfg:
+                    cfg[seed_key] = config_seed(cfg)
+        tag = f"{fn.__module__}:{fn.__qualname__}"
+        keys = [config_hash(tag, version, cfg) for cfg in configs]
+
+        t0 = time.perf_counter()
+        results: list = [None] * len(configs)
+        pending: list[int] = []
+        hits = 0
+        prog = (
+            _Progress(len(configs), fn.__qualname__.lstrip("_"), self.stream)
+            if self.progress and configs
+            else None
+        )
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                hits += 1
+                if prog:
+                    prog.step(cached=True)
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                for i in pending:
+                    results[i] = self._normalise(fn(configs[i]))
+                    if prog:
+                        prog.step()
+            else:
+                from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending))
+                ) as pool:
+                    futures = {pool.submit(fn, configs[i]): i for i in pending}
+                    not_done = set(futures)
+                    while not_done:
+                        finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        for fut in finished:
+                            results[futures[fut]] = self._normalise(fut.result())
+                            if prog:
+                                prog.step()
+            if self.cache is not None:
+                for i in pending:
+                    self.cache.put(keys[i], configs[i], results[i])
+
+        self.last_hits = hits
+        self.last_misses = len(pending)
+        self.last_elapsed = time.perf_counter() - t0
+        return results
+
+    @staticmethod
+    def _normalise(result):
+        """JSON round-trip so fresh and cached results are identical."""
+        if result is None:
+            raise ValueError("sweep tasks must not return None (reserved for cache misses)")
+        try:
+            return json.loads(json.dumps(result))
+        except (TypeError, ValueError) as exc:
+            raise TypeError(
+                f"sweep task returned a non-JSON-serialisable result: {exc}"
+            ) from exc
+
+
+# -- ambient runner ------------------------------------------------------
+#
+# Experiments call the module-level :func:`sweep` helper; the CLI (or a
+# test) installs a configured runner around the experiment with
+# :func:`using`.  With nothing installed, sweeps run inline and
+# uncached — library callers see plain serial behaviour unless they opt
+# in.
+
+_active: SweepRunner | None = None
+
+
+def active_runner() -> SweepRunner:
+    """The installed runner, or a fresh serial/uncached one."""
+    return _active if _active is not None else SweepRunner()
+
+
+@contextmanager
+def using(runner: SweepRunner):
+    """Install ``runner`` as the ambient sweep engine for a block."""
+    global _active
+    previous = _active
+    _active = runner
+    try:
+        yield runner
+    finally:
+        _active = previous
+
+
+def sweep(
+    fn: Callable[[dict], object],
+    configs: Iterable[dict] | Sequence[dict],
+    version: str = "1",
+    seed_key: str | None = None,
+) -> list:
+    """Run a config grid through the ambient :class:`SweepRunner`."""
+    return active_runner().map(fn, configs, version=version, seed_key=seed_key)
+
+
+def default_cache_dir() -> str:
+    """Cache directory the CLI uses: ``$REPRO_SWEEP_CACHE`` if set,
+    else ``.sweep_cache`` under the current directory."""
+    return os.environ.get("REPRO_SWEEP_CACHE", DEFAULT_CACHE_DIR)

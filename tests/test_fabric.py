@@ -2,8 +2,11 @@
 
 import networkx as nx
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.netsim.fabric import Fabric, LineFabric
+from repro.netsim.faults import FaultPlan, FaultTables
 from repro.netsim.routing import DELAY_ATTR
 
 
@@ -108,6 +111,62 @@ class TestLineFabric:
         # 6 pebbles ready at t=0: slots 0,0,1,1,2,2 -> arrivals 2,2,3,3,4,4
         arrivals = [lf.hop(0, +1, 0) for _ in range(6)]
         assert arrivals == [2, 2, 3, 3, 4, 4]
+
+    def test_hop_many_matches_repeated_hop(self):
+        a = LineFabric([3, 5], bandwidth=2)
+        b = LineFabric([3, 5], bandwidth=2)
+        batched = a.hop_many(0, +1, 0, 5)
+        single = [b.hop(0, +1, 0) for _ in range(5)]
+        assert batched == single
+        assert a.hop_many(2, -1, 1, 3) == [b.hop(2, -1, 1) for _ in range(3)]
+        assert a.total_injections == b.total_injections
+
+    def test_jitter_end_cannot_reorder_stream(self):
+        # A jitter window ending mid-stream: the first pebble is
+        # inflated (+5), the second is injected after the window.
+        # Unclamped, the second would arrive at 4 < 8 — overtaking a
+        # FIFO predecessor.  The clamp pins it to 8.
+        plan = FaultPlan().jitter(0, time=0, duration=2, extra=5)
+        lf = LineFabric([2], bandwidth=1)
+        lf.attach_faults(FaultTables(plan, n=2))
+        assert lf.hop_faulty(0, +1, 1) == 8  # slot 1, +2 delay, +5 jitter
+        assert lf.hop_faulty(0, +1, 2) == 8  # clamped (raw would be 4)
+        assert lf.hop_faulty(0, +1, 7) == 9  # past the clamp: raw again
+
+    def test_jitter_clamp_is_per_directed_link(self):
+        plan = FaultPlan().jitter(0, time=0, duration=2, extra=9, direction=+1)
+        lf = LineFabric([2], bandwidth=1)
+        lf.attach_faults(FaultTables(plan, n=2))
+        assert lf.hop_faulty(0, +1, 0) == 11
+        # Jitter targets direction +1 only; the reverse pipe is
+        # untouched and must not inherit the clamp.
+        assert lf.hop_faulty(1, -1, 0) == 2
+
+    @given(
+        st.integers(min_value=1, max_value=6),  # jitter extra
+        st.integers(min_value=1, max_value=5),  # jitter window length
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=30),
+    )
+    def test_jittered_arrivals_stay_monotone(self, extra, duration, gaps):
+        """FIFO links never reorder pebbles, jitter or not."""
+        plan = FaultPlan().jitter(0, time=2, duration=duration, extra=extra)
+        lf = LineFabric([2], bandwidth=1)
+        lf.attach_faults(FaultTables(plan, n=2))
+        t, last = 0, 0
+        for gap in gaps:
+            t += gap
+            arr = lf.hop_faulty(0, +1, t)
+            assert arr >= last
+            last = arr
+
+    def test_reset_clears_monotone_clamp(self):
+        plan = FaultPlan().jitter(0, time=0, duration=1, extra=50)
+        lf = LineFabric([2], bandwidth=1)
+        lf.attach_faults(FaultTables(plan, n=2))
+        assert lf.hop_faulty(0, +1, 0) == 52
+        lf.reset()
+        lf.attach_faults(None)
+        assert lf.hop_faulty(0, +1, 0) == 2  # no stale clamp from last run
 
     def test_reset_and_injection_count(self):
         lf = LineFabric([1, 1])

@@ -71,6 +71,16 @@ def test_reset_restores_idle_state():
     assert pipe.inject(0) == 4
 
 
+def test_busy_until_idle_pipe_is_zero():
+    # A fresh (or reset) pipe has no backlog: slot 0 is free, so the
+    # earliest fully-usable slot is time 0, not -1.
+    pipe = LinkPipe(delay=3, bandwidth=1)
+    assert pipe.busy_until() == 0
+    pipe.inject(0)
+    pipe.reset()
+    assert pipe.busy_until() == 0
+
+
 def test_busy_until_reflects_backlog():
     pipe = LinkPipe(delay=1, bandwidth=1)
     pipe.inject(0)
@@ -78,6 +88,37 @@ def test_busy_until_reflects_backlog():
     pipe2 = LinkPipe(delay=1, bandwidth=2)
     pipe2.inject(0)
     assert pipe2.busy_until() == 0
+
+
+def test_inject_many_matches_repeated_inject():
+    a = LinkPipe(delay=4, bandwidth=2)
+    b = LinkPipe(delay=4, bandwidth=2)
+    a.inject(0)  # pre-existing backlog on both
+    b.inject(0)
+    batched = a.inject_many(1, 5)
+    single = [b.inject(1) for _ in range(5)]
+    assert batched == single
+    assert a.injected == b.injected
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=10),
+)
+def test_inject_many_property(d, bw, count, t_ready):
+    a = LinkPipe(d, bw)
+    b = LinkPipe(d, bw)
+    assert a.inject_many(t_ready, count) == [b.inject(t_ready) for _ in range(count)]
+    assert a.injected == b.injected == count
+
+
+def test_inject_many_monotonicity_enforced():
+    pipe = LinkPipe(delay=1)
+    pipe.inject(5)
+    with pytest.raises(AssertionError):
+        pipe.inject_many(4, 2)
 
 
 def test_batch_transit_time_edge_cases():

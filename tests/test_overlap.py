@@ -100,6 +100,38 @@ class TestOnGraph:
         res = simulate_overlap(HostArray.uniform(64, 2), steps=8)
         assert res.schedule_slowdown_bound() > 0
 
+    def test_forced_dead_graph_nodes_are_translated(self):
+        hg = now_cluster_host(4, 6, intra_delay=1, inter_delay=12)
+        dead = {next(iter(hg.graph.nodes))}
+        res = simulate_overlap_on_graph(hg, steps=6, forced_dead=dead)
+        assert res.verified
+        # The failed workstation must not survive as a working position.
+        position_of = res.embedding.position_of()
+        for v in dead:
+            assert not res.killing.live[position_of[v]]
+
+    def test_forced_dead_unknown_node_rejected(self):
+        hg = now_cluster_host(3, 4)
+        with pytest.raises(ValueError, match="not in the host graph"):
+            simulate_overlap_on_graph(hg, steps=6, forced_dead={"nope"})
+
+    def test_faults_and_recovery_reach_the_embedded_run(self):
+        from repro.netsim.faults import FaultPlan, RecoveryPolicy
+
+        hg = now_cluster_host(4, 6, intra_delay=1, inter_delay=12)
+        n = hg.graph.number_of_nodes()
+        plan = FaultPlan().crash(n // 2, time=2)
+        res = simulate_overlap_on_graph(
+            hg,
+            steps=6,
+            faults=plan,
+            policy=RecoveryPolicy(),
+            min_copies=2,
+            verify=True,
+        )
+        assert res.verified
+        assert res.exec_result.stats.crashed_nodes >= 1
+
 
 class TestScaling:
     def test_blocking_hides_dmax(self):

@@ -1,0 +1,146 @@
+"""SweepRunner: parallel fan-out, content-hash caching, seeding contract."""
+
+import json
+
+import pytest
+
+from repro.experiments import get_experiment, run_experiment
+from repro.runner import (
+    SweepCache,
+    SweepRunner,
+    active_runner,
+    canonical_json,
+    config_hash,
+    config_seed,
+    sweep,
+    using,
+)
+
+
+def _square(cfg: dict) -> dict:
+    """Module-level so worker processes can import it by name."""
+    return {"value": cfg["x"] * cfg["x"], "seed": cfg.get("seed")}
+
+
+def _echo_seed(cfg: dict) -> dict:
+    return {"seed": cfg["seed"]}
+
+
+class TestHashingAndSeeding:
+    def test_canonical_json_is_key_order_invariant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_canonical_json_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_config_hash_distinguishes_task_version_config(self):
+        base = config_hash("t", "1", {"x": 1})
+        assert config_hash("t", "1", {"x": 1}) == base
+        assert config_hash("u", "1", {"x": 1}) != base
+        assert config_hash("t", "2", {"x": 1}) != base
+        assert config_hash("t", "1", {"x": 2}) != base
+
+    def test_config_seed_deterministic_and_salted(self):
+        cfg = {"n": 64, "d": 4}
+        s = config_seed(cfg)
+        assert s == config_seed(dict(reversed(list(cfg.items()))))
+        assert 0 <= s < 2**63
+        assert config_seed(cfg, salt="other") != s
+
+    def test_seed_key_injected_only_when_missing(self):
+        runner = SweepRunner()
+        out = runner.map(_echo_seed, [{"x": 1}, {"x": 2, "seed": 7}], seed_key="seed")
+        assert out[0]["seed"] == config_seed({"x": 1})
+        assert out[1]["seed"] == 7
+
+
+class TestSweepCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("ab" * 32, {"x": 1}, {"y": 2})
+        assert cache.get("ab" * 32) == {"y": 2}
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert SweepCache(tmp_path).get("cd" * 32) is None
+
+    def test_none_results_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepCache(tmp_path).put("ab" * 32, {}, None)
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("ab" * 32, {}, 1)
+        cache.put("cd" * 32, {}, 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSweepRunner:
+    def test_results_in_config_order(self):
+        out = SweepRunner().map(_square, [{"x": x} for x in (3, 1, 2)])
+        assert [r["value"] for r in out] == [9, 1, 4]
+
+    def test_cache_hits_skip_recompute(self, tmp_path):
+        configs = [{"x": x} for x in range(4)]
+        runner = SweepRunner(cache_dir=tmp_path)
+        first = runner.map(_square, configs)
+        assert (runner.last_hits, runner.last_misses) == (0, 4)
+        second = runner.map(_square, configs)
+        assert (runner.last_hits, runner.last_misses) == (4, 0)
+        assert first == second
+
+    def test_version_busts_cache(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.map(_square, [{"x": 1}], version="1")
+        runner.map(_square, [{"x": 1}], version="2")
+        assert runner.last_misses == 1
+
+    def test_fresh_and_cached_results_identical(self, tmp_path):
+        # JSON round-trip on miss means a cache hit is bit-identical.
+        runner = SweepRunner(cache_dir=tmp_path)
+        fresh = runner.map(_square, [{"x": 5}])
+        cached = runner.map(_square, [{"x": 5}])
+        assert json.dumps(fresh) == json.dumps(cached)
+
+    def test_parallel_matches_serial(self):
+        configs = [{"x": x} for x in range(6)]
+        serial = SweepRunner(workers=1).map(_square, configs, seed_key="seed")
+        parallel = SweepRunner(workers=4).map(_square, configs, seed_key="seed")
+        assert serial == parallel
+
+    def test_non_serialisable_result_fails_loudly(self):
+        with pytest.raises(TypeError):
+            SweepRunner().map(lambda cfg: object(), [{"x": 1}])
+
+
+class TestAmbientRunner:
+    def test_default_is_serial_uncached(self):
+        runner = active_runner()
+        assert runner.workers == 1
+        assert runner.cache is None
+
+    def test_using_installs_and_restores(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        with using(runner):
+            assert active_runner() is runner
+            assert sweep(_square, [{"x": 2}])[0]["value"] == 4
+        assert active_runner() is not runner
+
+    def test_run_experiment_wires_the_runner(self, tmp_path):
+        res = run_experiment("e3", quick=True, cache_dir=tmp_path)
+        assert res.rows
+        assert len(SweepCache(tmp_path)) > 0
+
+
+class TestWorkerCountDeterminism:
+    def test_e1_identical_at_any_worker_count(self):
+        """Acceptance gate: e1 through SweepRunner with workers=4 is
+        bit-for-bit identical to workers=1."""
+        e1 = get_experiment("e1")
+        with using(SweepRunner(workers=1)):
+            serial = e1(quick=True)
+        with using(SweepRunner(workers=4)):
+            parallel = e1(quick=True)
+        assert serial.to_json() == parallel.to_json()

@@ -35,6 +35,26 @@ def test_merge_accumulates():
     assert a.procs_used == 3
 
 
+def test_merge_extras_numeric_adds_rest_overwrites():
+    a = SimStats()
+    a.extras.update({"retries": 3, "phase": "warm", "flag": True})
+    b = SimStats()
+    b.extras.update({"retries": 2, "phase": "cool", "note": "x", "flag": False})
+    a.merge(b)
+    assert a.extras["retries"] == 5  # numeric: additive
+    assert a.extras["phase"] == "cool"  # non-numeric: last writer wins
+    assert a.extras["note"] == "x"  # new keys carried over
+    assert a.extras["flag"] is False  # bools are not numeric
+
+
+def test_merge_extras_survive_roundtrip():
+    a = SimStats()
+    b = SimStats()
+    b.extras["epochs"] = 4
+    a.merge(b)
+    assert a.as_dict()["epochs"] == 4
+
+
 def test_as_dict_includes_extras():
     s = SimStats(makespan=4)
     s.extras["note"] = "x"
