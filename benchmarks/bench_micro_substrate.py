@@ -11,6 +11,7 @@ measuring".
 import numpy as np
 
 from repro.core.assignment import Assignment
+from repro.core.dense import DenseExecutor
 from repro.core.executor import GreedyExecutor
 from repro.machine.guest import GuestArray
 from repro.machine.host import HostArray
@@ -78,6 +79,21 @@ def test_greedy_executor_throughput(benchmark):
 
     def run():
         return GreedyExecutor(host, asg, prog, 16).run()
+
+    result = benchmark(run)
+    benchmark.extra_info["pebbles"] = result.stats.pebbles
+
+
+def test_dense_executor_throughput(benchmark):
+    # Same workload as the greedy row above, so the two benchmark
+    # entries read off the engine-tier ratio directly.
+    host = HostArray.uniform(32, 2)
+    asg = Assignment([(2 * i + 1, 2 * i + 4) for i in range(31)] + [(63, 64)], 64)
+    asg.validate()
+    prog = CounterProgram()
+
+    def run():
+        return DenseExecutor(host, asg, prog, 16).run()
 
     result = benchmark(run)
     benchmark.extra_info["pebbles"] = result.stats.pebbles

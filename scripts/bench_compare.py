@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""PR-acceptance gate over ``BENCH_sweep.json``.
+
+Run after ``benchmarks/bench_sweep.py`` (CI does; see the
+``bench-smoke`` job).  Checks, in order:
+
+1. **sweep speedup** — with >= 4 workers on a >= 4-CPU machine, the
+   parallel sweep must not be slower than serial (``speedup >= 1.0``;
+   the parallel-regression gate).  Skipped honestly on smaller
+   machines, where compute-bound parallelism cannot win.
+2. **engine ratio** — the dense fault-free tier must be >= 3x the
+   greedy engine (``engines.dense_over_greedy``).  A single-core
+   property, so it applies on every machine, smoke or not.
+3. **absolute throughput** — executor steps/sec must clear a coarse
+   floor, but **only for non-smoke records**: entries tagged
+   ``"smoke": true`` come from CI-sized grids whose absolute numbers
+   are meaningless, and are ignored rather than misread as
+   regressions.
+4. **differential tests** — the dense-vs-greedy bit-identical suite
+   (``tests/test_dense.py``) must run with zero skips; a skipped
+   differential test would let the fast path drift from the reference
+   silently.  ``--no-tests`` omits this (e.g. when pytest is absent).
+
+Exit status 0 = all gates pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Coarse floor for non-smoke executor throughput: an order of magnitude
+# under the measured dense rate, so it only trips on catastrophic
+# hot-path regressions, not machine-to-machine noise.
+MIN_STEPS_PER_SEC = 20_000.0
+MIN_DENSE_OVER_GREEDY = 3.0
+
+
+def _fail(msg: str) -> bool:
+    print(f"[bench_compare] FAIL: {msg}", file=sys.stderr)
+    return True
+
+
+def check_sweep(payload: dict) -> bool:
+    sweep = payload.get("sweep", {})
+    cpus = payload.get("cpus", 1)
+    workers = sweep.get("workers", 0)
+    speedup = sweep.get("speedup")
+    if cpus >= 4 and workers >= 4:
+        if speedup is None or speedup < 1.0:
+            return _fail(
+                f"sweep speedup {speedup}x < 1.0x at {workers} workers on a "
+                f"{cpus}-cpu machine — the parallel path is a regression"
+            )
+        print(f"[bench_compare] sweep speedup {speedup}x at {workers} workers: ok")
+    else:
+        print(
+            f"[bench_compare] sweep speedup gate skipped "
+            f"(cpus={cpus}, workers={workers})"
+        )
+    if not sweep.get("results_identical", False):
+        return _fail("sweep did not assert parallel == serial results")
+    return False
+
+
+def check_engines(payload: dict) -> bool:
+    engines = payload.get("engines")
+    if not engines:
+        return _fail("no 'engines' section — dense-vs-greedy ratio unmeasured")
+    ratio = engines.get("dense_over_greedy")
+    if ratio is None or ratio < MIN_DENSE_OVER_GREEDY:
+        return _fail(
+            f"dense engine only {ratio}x greedy (< {MIN_DENSE_OVER_GREEDY}x)"
+        )
+    print(f"[bench_compare] dense {ratio}x greedy: ok")
+    return False
+
+
+def check_throughput(payload: dict) -> bool:
+    failed = False
+    records = {"executor": payload.get("executor", {})}
+    engines = payload.get("engines", {})
+    for name in ("greedy", "dense"):
+        if isinstance(engines.get(name), dict):
+            records[f"engines.{name}"] = engines[name]
+    for name, rec in records.items():
+        sps = rec.get("steps_per_sec")
+        if sps is None:
+            continue
+        if rec.get("smoke"):
+            print(
+                f"[bench_compare] {name}: smoke-tagged record "
+                f"({sps:,.0f} steps/sec) — absolute floor skipped"
+            )
+            continue
+        if sps < MIN_STEPS_PER_SEC:
+            failed = _fail(
+                f"{name}: {sps:,.0f} steps/sec < floor {MIN_STEPS_PER_SEC:,.0f}"
+            )
+        else:
+            print(f"[bench_compare] {name}: {sps:,.0f} steps/sec: ok")
+    return failed
+
+
+def check_differential_tests() -> bool:
+    cmd = [sys.executable, "-m", "pytest", "tests/test_dense.py", "-q", "-rs"]
+    env_path = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        cmd, cwd=REPO_ROOT, env=env, capture_output=True, text=True
+    )
+    out = proc.stdout + proc.stderr
+    if proc.returncode != 0:
+        sys.stderr.write(out)
+        return _fail("dense-vs-greedy differential tests failed")
+    skipped = re.search(r"(\d+) skipped", out)
+    if skipped and int(skipped.group(1)) > 0:
+        sys.stderr.write(out)
+        return _fail(
+            f"{skipped.group(1)} differential test(s) skipped — the dense "
+            "tier is not being checked against the reference"
+        )
+    # A suite that collects nothing is as bad as a skipped one.
+    if "[100%]" not in out and not re.search(r"\d+ passed", out):
+        sys.stderr.write(out)
+        return _fail("differential test suite ran no tests")
+    print("[bench_compare] differential tests: ran, zero skips")
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="path to BENCH_sweep.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--no-tests",
+        action="store_true",
+        help="skip running the differential test suite",
+    )
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.bench)
+    if not path.exists():
+        _fail(f"{path} not found — run benchmarks/bench_sweep.py first")
+        return 1
+    payload = json.loads(path.read_text())
+    if payload.get("smoke"):
+        print("[bench_compare] smoke artifact: absolute floors will be skipped")
+
+    failed = False
+    failed |= check_sweep(payload)
+    failed |= check_engines(payload)
+    failed |= check_throughput(payload)
+    if not args.no_tests:
+        failed |= check_differential_tests()
+
+    if failed:
+        return 1
+    print("[bench_compare] all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

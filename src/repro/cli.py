@@ -74,7 +74,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    result = run_experiment(args.id, quick=not args.full, **_sweep_kwargs(args))
+    result = run_experiment(
+        args.id, quick=not args.full, engine=args.engine, **_sweep_kwargs(args)
+    )
     result.print()
     return 0
 
@@ -85,7 +87,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
         out.mkdir(parents=True, exist_ok=True)
     sweep_kwargs = _sweep_kwargs(args)
     for exp_id in list_experiments():
-        result = run_experiment(exp_id, quick=not args.full, **sweep_kwargs)
+        result = run_experiment(
+            exp_id, quick=not args.full, engine=args.engine, **sweep_kwargs
+        )
         result.print()
         if out:
             (out / f"{exp_id}.txt").write_text(result.render() + "\n")
@@ -197,6 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress",
             action="store_true",
             help="print per-config sweep progress/ETA to stderr",
+        )
+        p.add_argument(
+            "--engine",
+            choices=("auto", "dense", "greedy"),
+            default="auto",
+            help="execution tier for fault-free simulations: auto picks "
+            "the dense fast path when possible (default), dense forces "
+            "it, greedy forces the event-driven engine; results are "
+            "bit-identical either way",
         )
 
     p_run = sub.add_parser("run", help="run one experiment")

@@ -8,6 +8,8 @@ Layering (bottom to top):
 * :mod:`assignment` — the recursive overlapped database assignment.
 * :mod:`executor`   — the greedy event-driven executor that runs *any*
   contiguous assignment on a host array (realises Theorem 1's schedule).
+* :mod:`dense`      — the fault-free fast-path tier (same semantics,
+  bit-identical results, no event heap) and the engine selection layer.
 * :mod:`schedule`   — the explicit ``s_t^(k)`` schedule and its
   recurrence (Theorems 1-3, symbolically).
 * :mod:`overlap`    — end-to-end algorithm OVERLAP (Theorems 2, 3, 6).
@@ -23,6 +25,7 @@ Layering (bottom to top):
 from repro.core.tree import IntervalNode, IntervalTree
 from repro.core.killing import KillingResult, OverlapParams, kill_and_label
 from repro.core.assignment import Assignment, assign_databases
+from repro.core.dense import ENGINES, DenseExecutor, build_executor, resolve_engine
 from repro.core.executor import ExecResult, GreedyExecutor, SimulationDeadlock
 from repro.core.schedule import ScheduleTable, build_schedule
 from repro.core.overlap import OverlapResult, simulate_overlap, simulate_overlap_on_graph
@@ -47,6 +50,10 @@ __all__ = [
     "Assignment",
     "assign_databases",
     "GreedyExecutor",
+    "DenseExecutor",
+    "ENGINES",
+    "build_executor",
+    "resolve_engine",
     "ExecResult",
     "SimulationDeadlock",
     "ScheduleTable",

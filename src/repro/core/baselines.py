@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.assignment import Assignment
+from repro.core.dense import build_executor
 from repro.core.executor import ExecResult, GreedyExecutor
 from repro.core.verify import verify_execution
 from repro.machine.guest import GuestArray
@@ -77,6 +78,7 @@ def simulate_single_copy(
     program: Program | None = None,
     bandwidth: int | None = None,
     verify: bool = True,
+    engine: str = "auto",
 ) -> BaselineResult:
     """No-redundancy baseline: one copy per database, all processors.
 
@@ -86,7 +88,9 @@ def simulate_single_copy(
     m = m or host.n
     steps = steps or max(4, m // 4)
     assignment = spread_assignment(host.n, m)
-    exec_result = GreedyExecutor(host, assignment, program, steps, bandwidth).run()
+    exec_result = build_executor(
+        engine, host, assignment, program, steps, bandwidth
+    ).run()
     verified = False
     if verify:
         reference = GuestArray(m, program).run_reference(steps)
@@ -110,6 +114,7 @@ def simulate_prior_efficient(
     program: Program | None = None,
     bandwidth: int | None = None,
     verify: bool = True,
+    engine: str = "auto",
 ) -> BaselineResult:
     """Prior work-preserving approach: only ``~ n / d_max`` processors.
 
@@ -124,7 +129,9 @@ def simulate_prior_efficient(
     m = m or host.n
     steps = steps or max(4, m // 4)
     assignment = spread_assignment(n, m, positions)
-    exec_result = GreedyExecutor(host, assignment, program, steps, bandwidth).run()
+    exec_result = build_executor(
+        engine, host, assignment, program, steps, bandwidth
+    ).run()
     verified = False
     if verify:
         reference = GuestArray(m, program).run_reference(steps)

@@ -1,0 +1,589 @@
+"""Dense fault-free execution tier.
+
+:class:`DenseExecutor` runs the same simulation semantics as
+:class:`~repro.core.executor.GreedyExecutor` — same assignment, same
+greedy ``(t, column)`` scheduling rule, same pipelined-link timing model
+— but restructured for the common fault-free case, where the whole run
+is a pure function of ``(host, assignment, steps, bandwidth)``:
+
+* **values and timing are decoupled.**  In a fault-free run every
+  replica of column ``c`` computes exactly the guest's pebble values,
+  and no scheduling decision ever reads a pebble *value* (the greedy
+  pick is by ``(t, c)``, link slots are assigned by injection time).
+  The dense tier therefore computes all values/digests once with the
+  row-vectorised guest reference (``m`` columns per numpy op instead of
+  one scalar ``mix4`` per replica pebble) and runs a separate *timing
+  skeleton* that moves only integers.
+* **no event heap.**  Every event in the greedy engine is pushed at a
+  strictly later time than the one being processed, so a flat
+  time-indexed bucket list replayed in append order reproduces the
+  heap's ``(time, seq)`` order exactly — O(1) per event, no tuple
+  comparisons, no ``Event`` allocation.
+* **flat link state.**  Each directed link is three integers (current
+  slot, pebbles in that slot, injection count) in preallocated lists —
+  the :class:`~repro.netsim.links.LinkPipe` slot rule inlined — and
+  per-processor state is flat lists indexed by position.
+
+Because the skeleton replays the exact event order, the result is
+**bit-identical** to the greedy engine: same makespan, same per-replica
+pebble counts, same message/pebble-hop counters, same value digests and
+database replicas.  ``tests/test_dense.py`` asserts this differentially
+over the e1/e3/e5 parameter grids.
+
+The tier only covers the plain fault-free executor: faults, recovery
+policies, forced-dead reconfiguration, tracing, multicast streams,
+scheduling jitter (``tie_seed``) and relabelled guests (``dep_map`` /
+``col_label``, i.e. rings) all take the greedy engine.
+:func:`resolve_engine` encodes that selection rule for the
+``engine="auto"`` front-ends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.machine.database import Database
+from repro.machine.guest import GuestArray
+from repro.machine.host import HostArray
+from repro.machine.mixing import mix2_v
+from repro.machine.programs import Program
+from repro.netsim.stats import SimStats
+
+#: Engine names accepted by the simulation front-ends.
+ENGINES = ("auto", "dense", "greedy")
+
+_FOLD_SEED = 0x243F6A8885A308D3  # fold_s seed (see repro.machine.mixing)
+
+# Bucket-event kinds.
+_DONE = 0
+_MSG = 1
+
+
+def resolve_engine(
+    engine: str,
+    *,
+    faults=None,
+    policy=None,
+    forced_dead=None,
+    trace=None,
+    multicast: bool = False,
+    tie_seed=None,
+    dep_map=None,
+) -> str:
+    """Pick the execution tier for one simulation.
+
+    ``auto`` selects ``dense`` exactly when the run needs none of the
+    greedy-only machinery; explicitly asking for ``dense`` with an
+    incompatible feature is an error (the caller asked for something
+    the dense tier cannot honour), while ``auto`` falls back silently.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if engine == "greedy":
+        return "greedy"
+    reasons = []
+    if faults is not None and not faults.is_empty:
+        reasons.append("fault injection")
+    if policy is not None:
+        reasons.append("a recovery policy")
+    if forced_dead:
+        reasons.append("forced-dead positions")
+    if trace is not None:
+        reasons.append("tracing")
+    if multicast:
+        reasons.append("multicast streams")
+    if tie_seed is not None:
+        reasons.append("scheduling jitter")
+    if dep_map is not None:
+        reasons.append("a custom dependency map")
+    if not reasons:
+        return "dense"
+    if engine == "dense":
+        raise ValueError(
+            f"engine='dense' cannot honour {', '.join(reasons)}; "
+            "use engine='auto' (falls back) or engine='greedy'"
+        )
+    return "greedy"
+
+
+class DenseExecutor:
+    """Fault-free fast-path executor (see module docstring).
+
+    Construction mirrors :class:`~repro.core.executor.GreedyExecutor`
+    for the supported subset; :meth:`run` returns the same
+    :class:`~repro.core.executor.ExecResult`.
+    """
+
+    __slots__ = (
+        "host",
+        "assignment",
+        "program",
+        "T",
+        "bandwidth",
+        "m",
+        "used",
+        "subscribers",
+    )
+
+    def __init__(
+        self,
+        host: HostArray,
+        assignment: Assignment,
+        program: Program,
+        steps: int,
+        bandwidth: int | None = None,
+    ) -> None:
+        if assignment.n != host.n:
+            raise ValueError(
+                f"assignment is for {assignment.n} positions, host has {host.n}"
+            )
+        from repro.core.killing import validate_steps
+
+        steps = validate_steps(steps)
+        assignment.validate()
+        self.host = host
+        self.assignment = assignment
+        self.program = program
+        self.T = steps
+        self.bandwidth = (
+            host.default_bandwidth() if bandwidth is None else bandwidth
+        )
+        self.m = assignment.m
+        self.used = assignment.used_positions()
+        self._build_subscriptions()
+
+    def _build_subscriptions(self) -> None:
+        """Same nearest-owner subscription rule (and list order) as
+        ``GreedyExecutor._build_state``."""
+        m = self.m
+        host = self.host
+        owners = self.assignment.owners()
+        subscribers: dict[tuple[int, int], list[int]] = {}
+        for p in self.used:
+            lo, hi = self.assignment.ranges[p]
+            needed = [c for c in (lo - 1, hi + 1) if 1 <= c <= m]
+            for c in needed:
+                candidates = owners[c]
+                q = min(
+                    candidates,
+                    key=lambda q: (host.distance(p, q), abs(q - p), q),
+                )
+                subscribers.setdefault((q, c), []).append(p)
+        self.subscribers = subscribers
+
+    # -- values (computed once, vectorised) -----------------------------
+    def _guest_values(self):
+        """Per-column value folds, update digests and final states.
+
+        Returns ``(value_folds, update_digests, final_states)`` — each a
+        length-``m`` sequence indexed by column-1.  Every fault-free
+        replica reproduces exactly these values (that is what
+        :mod:`repro.core.verify` checks), so one reference-style pass
+        serves all replicas.
+        """
+        m, T, prog = self.m, self.T, self.program
+        guest = GuestArray(m, prog)
+        if prog.supports_vector:
+            grid = guest.boundary_grid(T)
+            states = prog.init_state_vec(m)
+            # Database digest chain: seed tag_s(0xDB, col) then one
+            # mix2 per update — vectorised across columns per row.
+            from repro.machine.guest import _DB_SEED
+
+            db_digests = mix2_v(
+                np.uint64(_DB_SEED), np.arange(1, m + 1, dtype=np.uint64)
+            )
+            folds = np.full(m, np.uint64(_FOLD_SEED), dtype=np.uint64)
+            for t in range(1, T + 1):
+                prev = grid[t - 1]
+                values, updates = prog.compute_row_vec(
+                    t, states, prev[0:m], prev[1 : m + 1], prev[2 : m + 2]
+                )
+                grid[t, 1 : m + 1] = values
+                states = prog.apply_vec(states, updates)
+                db_digests = mix2_v(db_digests, updates)
+                folds = mix2_v(folds, values)
+            return (
+                [int(v) for v in folds],
+                [int(d) for d in db_digests],
+                [int(s) for s in np.asarray(states, dtype=np.uint64)],
+            )
+        # Scalar fallback (structured database state): one direct guest
+        # execution — still one compute per pebble total, instead of one
+        # per *replica* pebble.
+        from repro.machine.mixing import mix2_s
+        from repro.machine.pebbles import (
+            BOUNDARY_LEFT,
+            BOUNDARY_RIGHT,
+            boundary_value,
+            initial_value,
+        )
+
+        dbs = [Database(i, prog.init_state(i)) for i in range(1, m + 1)]
+        row = [initial_value(i) for i in range(1, m + 1)]
+        folds = [_FOLD_SEED] * m
+        for t in range(1, T + 1):
+            left_b = boundary_value(BOUNDARY_LEFT, t - 1)
+            right_b = boundary_value(BOUNDARY_RIGHT, t - 1)
+            new_row = [0] * m
+            pending = [0] * m
+            for i in range(m):
+                left = row[i - 1] if i > 0 else left_b
+                right = row[i + 1] if i < m - 1 else right_b
+                value, update = prog.compute(
+                    i + 1, t, dbs[i].state, left, row[i], right
+                )
+                new_row[i] = value
+                pending[i] = update
+                folds[i] = mix2_s(folds[i], value)
+            for i in range(m):
+                dbs[i].apply(prog, pending[i])
+            row = new_row
+        return (
+            folds,
+            [db.digest for db in dbs],
+            [db.state for db in dbs],
+        )
+
+    # -- timing skeleton -------------------------------------------------
+    def _simulate_timing(self, stats: SimStats) -> int:
+        """Replay the greedy event order with flat integer state.
+
+        Returns the makespan; fills ``stats.pebbles``/``messages`` and
+        leaves the total link-injection count in ``stats.pebble_hops``.
+        """
+        T = self.T
+        m = self.m
+        n = self.host.n
+        bw = self.bandwidth
+        delays = self.host.link_delays
+
+        # Per-position state (flat lists; unused positions stay None/0).
+        lo_of = [0] * n
+        hi_of = [0] * n
+        done: list[list[int] | None] = [None] * n
+        busy = [False] * n
+        # External-column watermarks: T means "virtual boundary, always
+        # satisfied"; real external columns start at watermark 0.
+        ext_l = [T] * n
+        ext_r = [T] * n
+        remaining = 0
+        for p in self.used:
+            lo, hi = self.assignment.ranges[p]
+            lo_of[p] = lo
+            hi_of[p] = hi
+            done[p] = [0] * (hi - lo + 1)
+            remaining += (hi - lo + 1) * T
+            if lo > 1:
+                ext_l[p] = 0
+            if hi < m:
+                ext_r[p] = 0
+
+        if T == 0 or remaining == 0:
+            return 0
+
+        # Directed-link occupancy: the LinkPipe slot rule as three flat
+        # integer lists per direction (busy-slot time, pebbles in that
+        # slot, lifetime injections).  Link j joins positions j, j+1.
+        n_links = n - 1
+        r_slot = [-1] * n_links
+        r_used = [0] * n_links
+        l_slot = [-1] * n_links
+        l_used = [0] * n_links
+        injections = 0
+
+        subscribers = {k: tuple(v) for k, v in self.subscribers.items()}
+        subscribers_get = subscribers.get
+
+        # Time-bucketed event lists.  Every push is strictly in the
+        # future (computes finish at now+1, link delays are >= 1), so a
+        # forward sweep in append order replays the heap's (time, seq)
+        # order exactly.
+        buckets: list[list[tuple]] = [[] for _ in range(T + 2)]
+        pending_events = 0
+        makespan = 0
+        n_pebbles = 0
+        n_messages = 0
+
+        def try_start(p: int, now: int) -> None:
+            nonlocal pending_events
+            if busy[p]:
+                return
+            done_p = done[p]
+            k = len(done_p)
+            lo = lo_of[p]
+            best_t = T + 1
+            best_i = -1
+            for i in range(k):
+                t = done_p[i] + 1
+                if t > T or t >= best_t:
+                    continue
+                tt = t - 1
+                # Left parent: own column i-1, or the external/virtual
+                # watermark for the first column.
+                if i > 0:
+                    if done_p[i - 1] < tt:
+                        continue
+                elif ext_l[p] < tt:
+                    continue
+                if i < k - 1:
+                    if done_p[i + 1] < tt:
+                        continue
+                elif ext_r[p] < tt:
+                    continue
+                best_t = t
+                best_i = i
+            if best_i < 0:
+                return
+            busy[p] = True
+            arr = now + 1
+            if arr >= len(buckets):
+                buckets.extend([] for _ in range(arr - len(buckets) + 1))
+            buckets[arr].append((_DONE, p, best_i, best_t))
+            pending_events += 1
+
+        for p in self.used:
+            try_start(p, 0)
+
+        now = 0
+        while pending_events:
+            bucket = buckets[now]
+            if not bucket:
+                now += 1
+                continue
+            for ev in bucket:
+                if ev[0] == _DONE:
+                    _, p, i, t = ev
+                    busy[p] = False
+                    done[p][i] = t
+                    n_pebbles += 1
+                    remaining -= 1
+                    if now > makespan:
+                        makespan = now
+                    c = lo_of[p] + i
+                    subs = subscribers_get((p, c))
+                    if subs:
+                        if len(subs) == 1:
+                            dst = subs[0]
+                            n_messages += 1
+                            if dst > p:
+                                j = p
+                                slot, used_ = r_slot[j], r_used[j]
+                                if now > slot:
+                                    slot, used_ = now, 1
+                                elif used_ < bw:
+                                    used_ += 1
+                                else:
+                                    slot, used_ = slot + 1, 1
+                                r_slot[j], r_used[j] = slot, used_
+                                injections += 1
+                                arr = slot + delays[j]
+                                if arr >= len(buckets):
+                                    buckets.extend(
+                                        [] for _ in range(arr - len(buckets) + 1)
+                                    )
+                                buckets[arr].append((_MSG, p + 1, dst, c, t))
+                            else:
+                                j = p - 1
+                                slot, used_ = l_slot[j], l_used[j]
+                                if now > slot:
+                                    slot, used_ = now, 1
+                                elif used_ < bw:
+                                    used_ += 1
+                                else:
+                                    slot, used_ = slot + 1, 1
+                                l_slot[j], l_used[j] = slot, used_
+                                injections += 1
+                                arr = slot + delays[j]
+                                if arr >= len(buckets):
+                                    buckets.extend(
+                                        [] for _ in range(arr - len(buckets) + 1)
+                                    )
+                                buckets[arr].append((_MSG, p - 1, dst, c, t))
+                            pending_events += 1
+                        else:
+                            # Whole-stream send: batch-assign slots per
+                            # direction (right first, then left — the
+                            # greedy engine's hop_many order), then push
+                            # per subscriber in list order.
+                            n_right = 0
+                            for dst in subs:
+                                if dst > p:
+                                    n_right += 1
+                            right_arr: list[int] = []
+                            if n_right:
+                                j = p
+                                slot, used_ = r_slot[j], r_used[j]
+                                if now > slot:
+                                    slot, used_ = now, 0
+                                d = delays[j]
+                                for _k in range(n_right):
+                                    if used_ < bw:
+                                        used_ += 1
+                                    else:
+                                        slot, used_ = slot + 1, 1
+                                    right_arr.append(slot + d)
+                                r_slot[j], r_used[j] = slot, used_
+                                injections += n_right
+                            n_left = len(subs) - n_right
+                            left_arr: list[int] = []
+                            if n_left:
+                                j = p - 1
+                                slot, used_ = l_slot[j], l_used[j]
+                                if now > slot:
+                                    slot, used_ = now, 0
+                                d = delays[j]
+                                for _k in range(n_left):
+                                    if used_ < bw:
+                                        used_ += 1
+                                    else:
+                                        slot, used_ = slot + 1, 1
+                                    left_arr.append(slot + d)
+                                l_slot[j], l_used[j] = slot, used_
+                                injections += n_left
+                            n_messages += len(subs)
+                            ri = li = 0
+                            top = len(buckets)
+                            for dst in subs:
+                                if dst > p:
+                                    arr = right_arr[ri]
+                                    ri += 1
+                                    item = (_MSG, p + 1, dst, c, t)
+                                else:
+                                    arr = left_arr[li]
+                                    li += 1
+                                    item = (_MSG, p - 1, dst, c, t)
+                                if arr >= top:
+                                    buckets.extend(
+                                        [] for _ in range(arr - top + 1)
+                                    )
+                                    top = len(buckets)
+                                buckets[arr].append(item)
+                            pending_events += len(subs)
+                    try_start(p, now)
+                else:  # _MSG
+                    _, pos, dst, c, t = ev
+                    if pos == dst:
+                        if c < lo_of[pos]:
+                            if t != ext_l[pos] + 1:  # pragma: no cover
+                                raise AssertionError(
+                                    f"out-of-order delivery of ({c},{t}) at "
+                                    f"{pos}: have {ext_l[pos]}"
+                                )
+                            ext_l[pos] = t
+                        else:
+                            if t != ext_r[pos] + 1:  # pragma: no cover
+                                raise AssertionError(
+                                    f"out-of-order delivery of ({c},{t}) at "
+                                    f"{pos}: have {ext_r[pos]}"
+                                )
+                            ext_r[pos] = t
+                        try_start(pos, now)
+                    else:
+                        # Relay one hop toward the target.
+                        if dst > pos:
+                            j = pos
+                            slot, used_ = r_slot[j], r_used[j]
+                            if now > slot:
+                                slot, used_ = now, 1
+                            elif used_ < bw:
+                                used_ += 1
+                            else:
+                                slot, used_ = slot + 1, 1
+                            r_slot[j], r_used[j] = slot, used_
+                            injections += 1
+                            arr = slot + delays[j]
+                            nxt = pos + 1
+                        else:
+                            j = pos - 1
+                            slot, used_ = l_slot[j], l_used[j]
+                            if now > slot:
+                                slot, used_ = now, 1
+                            elif used_ < bw:
+                                used_ += 1
+                            else:
+                                slot, used_ = slot + 1, 1
+                            l_slot[j], l_used[j] = slot, used_
+                            injections += 1
+                            arr = slot + delays[j]
+                            nxt = pos - 1
+                        if arr >= len(buckets):
+                            buckets.extend(
+                                [] for _ in range(arr - len(buckets) + 1)
+                            )
+                        buckets[arr].append((_MSG, nxt, dst, c, t))
+                        pending_events += 1
+            pending_events -= len(bucket)
+            now += 1
+
+        if remaining:  # pragma: no cover - the skeleton cannot wedge
+            raise RuntimeError(f"{remaining} pebbles never computed")
+        stats.pebbles = n_pebbles
+        stats.messages = n_messages
+        stats.pebble_hops = injections
+        return makespan
+
+    def run(self):
+        """Execute; returns an :class:`~repro.core.executor.ExecResult`
+        bit-identical to the greedy engine's."""
+        from repro.core.executor import ExecResult
+
+        stats = SimStats()
+        makespan = self._simulate_timing(stats)
+        stats.makespan = makespan
+        stats.procs_used = len(self.used)
+        stats.redundant = stats.pebbles - self.m * self.T
+        result = ExecResult(stats, self.T, self.assignment)
+        folds, db_digests, states = self._guest_values()
+        T = self.T
+        for p in self.used:
+            lo, hi = self.assignment.ranges[p]
+            for c in range(lo, hi + 1):
+                result.value_digests[(p, c)] = folds[c - 1]
+                state = states[c - 1]
+                # Programs apply() functionally, but keep replicas from
+                # aliasing one container object all the same.
+                if isinstance(state, dict):
+                    state = dict(state)
+                elif isinstance(state, list):
+                    state = list(state)
+                result.replicas[(p, c)] = Database(
+                    c, state, T, db_digests[c - 1]
+                )
+        return result
+
+
+def build_executor(
+    engine: str,
+    host: HostArray,
+    assignment: Assignment,
+    program: Program,
+    steps: int,
+    bandwidth: int | None = None,
+    **greedy_kwargs,
+):
+    """Resolve the tier and construct the matching executor.
+
+    ``greedy_kwargs`` are the greedy-only features (``faults``,
+    ``policy``, ``trace``, ...); any of them being active forces (or,
+    under ``engine='auto'``, silently selects) the greedy engine.
+    """
+    from repro.core.executor import GreedyExecutor
+
+    resolved = resolve_engine(
+        engine,
+        faults=greedy_kwargs.get("faults"),
+        policy=greedy_kwargs.get("policy"),
+        forced_dead=greedy_kwargs.get("forced_dead"),
+        trace=greedy_kwargs.get("trace"),
+        multicast=greedy_kwargs.get("multicast", False),
+        tie_seed=greedy_kwargs.get("tie_seed"),
+        dep_map=greedy_kwargs.get("dep_map"),
+    )
+    if resolved == "dense":
+        return DenseExecutor(host, assignment, program, steps, bandwidth)
+    greedy_kwargs.pop("forced_dead", None)
+    return GreedyExecutor(
+        host, assignment, program, steps, bandwidth, **greedy_kwargs
+    )

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.assignment import Assignment, assign_databases
+from repro.core.dense import DenseExecutor, resolve_engine
 from repro.core.executor import ExecResult, GreedyExecutor
 from repro.core.killing import (
     KillingResult,
@@ -48,6 +49,7 @@ class OverlapResult:
     verified: bool
     embedding: ArrayEmbedding | None = None
     faults: FaultPlan | None = None
+    engine: str = "greedy"  # execution tier actually used (resolved)
 
     @property
     def slowdown(self) -> float:
@@ -132,6 +134,7 @@ def simulate_overlap(
     faults: FaultPlan | None = None,
     policy: RecoveryPolicy | None = None,
     min_copies: int | None = None,
+    engine: str = "auto",
 ) -> OverlapResult:
     """Run algorithm OVERLAP on a host array.
 
@@ -171,6 +174,13 @@ def simulate_overlap(
         auto-flipped by the presence of ``faults`` — pass
         ``min_copies=2`` explicitly so a single mid-run crash cannot
         destroy the last replica of an interval.
+    engine:
+        Execution tier: ``"auto"`` (default) picks the dense fault-free
+        fast path when no faults / recovery policy / forced-dead set is
+        requested and the greedy event-driven engine otherwise;
+        ``"dense"`` / ``"greedy"`` force a tier (``"dense"`` raises if
+        the config needs greedy-only machinery).  Both tiers produce
+        bit-identical results on any config ``auto`` would run densely.
     """
     program = program or CounterProgram()
     forced_dead = normalize_forced_dead(host.n, forced_dead)
@@ -190,16 +200,24 @@ def simulate_overlap(
             survivors_killing, block, min_copies=max(2, copies)
         )
 
-    exec_result = GreedyExecutor(
-        host,
-        assignment,
-        program,
-        steps,
-        bandwidth,
-        faults=faults,
-        policy=policy,
-        reassign=reassign,
-    ).run()
+    resolved = resolve_engine(
+        engine, faults=faults, policy=policy, forced_dead=forced_dead
+    )
+    if resolved == "dense":
+        exec_result = DenseExecutor(
+            host, assignment, program, steps, bandwidth
+        ).run()
+    else:
+        exec_result = GreedyExecutor(
+            host,
+            assignment,
+            program,
+            steps,
+            bandwidth,
+            faults=faults,
+            policy=policy,
+            reassign=reassign,
+        ).run()
     schedule = build_schedule(killing.params, base_work=float(max(1, block)))
     verified = False
     if verify:
@@ -211,7 +229,7 @@ def simulate_overlap(
         verified = True
     return OverlapResult(
         host, killing, assignment, exec_result, schedule, steps, verified,
-        faults=faults,
+        faults=faults, engine=resolved,
     )
 
 
@@ -227,6 +245,7 @@ def simulate_overlap_on_graph(
     faults: FaultPlan | None = None,
     policy: RecoveryPolicy | None = None,
     min_copies: int | None = None,
+    engine: str = "auto",
 ) -> OverlapResult:
     """Theorem 6: OVERLAP on an arbitrary connected host network.
 
@@ -268,6 +287,7 @@ def simulate_overlap_on_graph(
         faults=faults,
         policy=policy,
         min_copies=min_copies,
+        engine=engine,
     )
     result.embedding = embedding
     return result

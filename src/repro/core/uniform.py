@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.assignment import Assignment
+from repro.core.dense import build_executor
 from repro.core.executor import ExecResult, GreedyExecutor
 from repro.core.verify import verify_execution
 from repro.machine.guest import GuestArray
@@ -100,6 +101,7 @@ def simulate_uniform(
     program: Program | None = None,
     bandwidth: int | None = None,
     verify: bool = True,
+    engine: str = "auto",
 ) -> UniformResult:
     """Simulate an ``n q``-column guest on a uniform-delay-``d`` host."""
     program = program or CounterProgram()
@@ -108,7 +110,9 @@ def simulate_uniform(
     if steps is None:
         steps = max(4, 2 * q)
     assignment = uniform_assignment(n, q)
-    exec_result = GreedyExecutor(host, assignment, program, steps, bandwidth).run()
+    exec_result = build_executor(
+        engine, host, assignment, program, steps, bandwidth
+    ).run()
     verified = False
     if verify:
         guest = GuestArray(assignment.m, program)

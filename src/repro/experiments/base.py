@@ -93,9 +93,15 @@ def run_experiment(
     ``cache_dir`` (``None`` disables caching).  The result table is
     bit-for-bit identical at every worker count.
     """
+    import inspect
+
     from repro.runner import SweepRunner, using
 
     run = get_experiment(exp_id)
-    engine = SweepRunner(workers=workers, cache_dir=cache_dir, progress=progress)
-    with using(engine):
+    # Cross-cutting knobs (e.g. the CLI's --engine) are forwarded only
+    # to experiments whose run() declares them; the rest are unaffected.
+    params = inspect.signature(run).parameters
+    kwargs = {k: v for k, v in kwargs.items() if k in params}
+    runner = SweepRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+    with using(runner):
         return run(quick=quick, **kwargs)

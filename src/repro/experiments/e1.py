@@ -37,7 +37,13 @@ def _d_point(cfg: dict) -> dict:
     """One ``d_ave``-sweep grid point (sweep task)."""
     n, d = cfg["n"], cfg["d"]
     host = _host(n, d) if d > 1 else HostArray.uniform(n, 1)
-    res = simulate_overlap(host, steps=cfg["steps"], block=2, verify=cfg["verify"])
+    res = simulate_overlap(
+        host,
+        steps=cfg["steps"],
+        block=2,
+        verify=cfg["verify"],
+        engine=cfg.get("engine", "auto"),
+    )
     return {
         "row": {
             "sweep": "d_ave",
@@ -59,7 +65,13 @@ def _n_point(cfg: dict) -> dict:
     """One ``n``-sweep grid point (sweep task)."""
     nn = cfg["n"]
     host = _host(nn, 4, seed=1)
-    res = simulate_overlap(host, steps=cfg["steps"], block=2, verify=False)
+    res = simulate_overlap(
+        host,
+        steps=cfg["steps"],
+        block=2,
+        verify=False,
+        engine=cfg.get("engine", "auto"),
+    )
     degenerate = res.schedule.k_max == 0  # theory needs n >> c log n
     bound = res.schedule_slowdown_bound()
     return {
@@ -80,7 +92,7 @@ def _n_point(cfg: dict) -> dict:
     }
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the Theorem-2 sweeps."""
     n = 96 if quick else 192
     steps = 12 if quick else 24
@@ -88,7 +100,10 @@ def run(quick: bool = True) -> ExperimentResult:
 
     d_points = sweep(
         _d_point,
-        [{"n": n, "steps": steps, "d": d, "verify": quick} for d in d_values],
+        [
+            {"n": n, "steps": steps, "d": d, "verify": quick, "engine": engine}
+            for d in d_values
+        ],
     )
     rows = [pt["row"] for pt in d_points]
     ds = [pt["x"] for pt in d_points]
@@ -100,7 +115,7 @@ def run(quick: bool = True) -> ExperimentResult:
     n_points = sweep(
         _n_point,
         [
-            {"n": nn, "steps": steps}
+            {"n": nn, "steps": steps, "engine": engine}
             for nn in ([32, 64, 128] if quick else [32, 64, 128, 256, 512])
         ],
     )

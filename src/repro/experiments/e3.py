@@ -20,7 +20,9 @@ def _point(cfg: dict) -> dict:
     n, d = cfg["n"], cfg["d"]
     q = block_width(d)
     steps = 2 * q
-    res = simulate_uniform(n, d, steps=steps, verify=cfg["verify"])
+    res = simulate_uniform(
+        n, d, steps=steps, verify=cfg["verify"], engine=cfg.get("engine", "auto")
+    )
     bound = phased_bound(d, steps, q, res.host.default_bandwidth()) / steps
     return {
         "row": {
@@ -39,7 +41,7 @@ def _point(cfg: dict) -> dict:
     }
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the Theorem-4 delay sweep."""
     n = 6 if quick else 10
     d_values = [4, 16, 64, 256] if quick else [4, 16, 64, 256, 1024]
@@ -47,7 +49,7 @@ def run(quick: bool = True) -> ExperimentResult:
     points = sweep(
         _point,
         [
-            {"n": n, "d": d, "verify": (d <= 64 or not quick)}
+            {"n": n, "d": d, "verify": (d <= 64 or not quick), "engine": engine}
             for d in d_values
         ],
     )

@@ -40,12 +40,14 @@ def _bounded_degree_hosts(quick: bool):
     yield now_cluster_host(8, 8, intra_delay=1, inter_delay=32)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run both parts of E5."""
     steps = 10 if quick else 20
     rows = []
     for host in _bounded_degree_hosts(quick):
-        res = simulate_overlap_on_graph(host, steps=steps, block=2, verify=quick)
+        res = simulate_overlap_on_graph(
+            host, steps=steps, block=2, verify=quick, engine=engine
+        )
         emb = res.embedding
         rows.append(
             {
@@ -66,7 +68,9 @@ def run(quick: bool = True) -> ExperimentResult:
     for side in ([4, 6, 8] if quick else [4, 6, 8, 12]):
         host = clique_chain_host(side, side)
         n = host.n
-        res = simulate_overlap_on_graph(host, steps=steps, verify=False)
+        res = simulate_overlap_on_graph(
+            host, steps=steps, verify=False, engine=engine
+        )
         bound = n ** 0.25
         rows.append(
             {

@@ -32,7 +32,7 @@ def _host(n: int, F: int) -> HostArray:
     return HostArray(delays)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the baseline-comparison sweep."""
     n = 128 if quick else 256
     steps = 20 if quick else 32
@@ -42,10 +42,10 @@ def run(quick: bool = True) -> ExperimentResult:
     series = {"single": [], "overlap16": []}
     for F in Fs:
         host = _host(n, F)
-        single = simulate_single_copy(host, steps=steps, verify=False)
-        prior = simulate_prior_efficient(host, steps=steps, verify=False)
-        ov1 = simulate_overlap(host, steps=steps, block=1, verify=False)
-        ov16 = simulate_overlap(host, steps=steps, block=16, verify=False)
+        single = simulate_single_copy(host, steps=steps, verify=False, engine=engine)
+        prior = simulate_prior_efficient(host, steps=steps, verify=False, engine=engine)
+        ov1 = simulate_overlap(host, steps=steps, block=1, verify=False, engine=engine)
+        ov16 = simulate_overlap(host, steps=steps, block=16, verify=False, engine=engine)
         rows.append(
             {
                 "F (=d_max)": F,

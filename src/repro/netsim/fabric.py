@@ -37,6 +37,7 @@ class Fabric:
         self.router = Router(graph, delay_attr)
         self.graph = graph
         self.bandwidth = bandwidth
+        self._delay_attr = delay_attr
         self._pipes: dict[tuple[Hashable, Hashable], LinkPipe] = {}
         self._edge_dir: dict[tuple[Hashable, Hashable], tuple[int, int]] = {}
         self._faults: FaultTables | None = None
@@ -81,8 +82,15 @@ class Fabric:
 
         Link-fault targets are edge *indices* in the graph's edge
         enumeration order (the order pipes were built in).
+
+        The route/delay memos are dropped: entries computed before the
+        tables were attached know nothing about outage windows, and a
+        stale cached route must never mask one (routes asked for with
+        ``at=`` bypass the memos entirely while link faults are live).
         """
         self._faults = tables
+        self._route_cache.clear()
+        self._delay_cache.clear()
 
     def hop_faulty(self, u: Hashable, v: Hashable, t_ready: int):
         """Fault-aware :meth:`hop`: :data:`~repro.netsim.faults.LOST` on
@@ -110,8 +118,36 @@ class Fabric:
             self._last_out[key] = arrival
         return arrival
 
-    def route(self, src: Hashable, dst: Hashable) -> list[Hashable]:
-        """Shortest-delay route as a node list."""
+    def _down_edges(self, at: int) -> list[tuple[Hashable, Hashable]]:
+        """Edges inside an outage window at time ``at`` (either
+        direction down disqualifies the edge for routing)."""
+        faults = self._faults
+        if faults is None or not faults.has_link_faults():
+            return []
+        return [
+            (u, v)
+            for (u, v), (idx, direction) in self._edge_dir.items()
+            if faults.is_link_down(idx, direction, at)
+        ]
+
+    def route(
+        self, src: Hashable, dst: Hashable, at: int | None = None
+    ) -> list[Hashable]:
+        """Shortest-delay route as a node list.
+
+        With ``at`` given and link faults attached, the route is
+        computed fresh on the subgraph of links up at time ``at`` —
+        never from the memo, which only describes the healthy topology.
+        Raises ``networkx.NetworkXNoPath`` when outages disconnect the
+        endpoints.
+        """
+        if at is not None:
+            down = self._down_edges(at)
+            if down:
+                view = nx.restricted_view(self.graph, [], down)
+                return nx.shortest_path(
+                    view, src, dst, weight=self._delay_attr
+                )
         key = (src, dst)
         path = self._route_cache.get(key)
         if path is None:
@@ -119,8 +155,22 @@ class Fabric:
             self._route_cache[key] = path
         return path
 
-    def route_delay(self, src: Hashable, dst: Hashable) -> int:
-        """Sum of delays along :meth:`route` (uncontended transit time)."""
+    def route_delay(
+        self, src: Hashable, dst: Hashable, at: int | None = None
+    ) -> int:
+        """Sum of delays along :meth:`route` (uncontended transit time).
+
+        ``at`` behaves as in :meth:`route`: fault-aware and uncached
+        while any outage is scripted.
+        """
+        if at is not None:
+            down = self._down_edges(at)
+            if down:
+                path = self.route(src, dst, at=at)
+                return sum(
+                    self.graph[u][v][self._delay_attr]
+                    for u, v in zip(path, path[1:])
+                )
         key = (src, dst)
         delay = self._delay_cache.get(key)
         if delay is None:

@@ -166,6 +166,20 @@ class FaultTables:
         """Whether any link-level fault is scripted."""
         return bool(self._outages or self._jitters or self._drops)
 
+    def is_link_down(self, link: int, direction: int, t: int) -> bool:
+        """Whether ``(link, direction)`` is inside an outage window at
+        ``t``.
+
+        Unlike :meth:`link_outcome` this is a pure query — it never
+        consumes one-shot drops — so routing layers may probe link
+        health as often as they like without perturbing the scripted
+        fault sequence.
+        """
+        for t0, t1 in self._outages.get((link, direction), ()):
+            if t0 <= t < t1:
+                return True
+        return False
+
 
 @dataclass
 class FaultPlan:

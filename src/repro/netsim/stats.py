@@ -43,6 +43,22 @@ class SimStats:
         """Total pebble computations performed by the host."""
         return self.pebbles
 
+    def tag_smoke(self, smoke: bool = True) -> "SimStats":
+        """Label these stats as coming from a smoke-sized run.
+
+        Throughput derived from a CI smoke grid is not comparable to
+        the full benchmark workload; the tag travels through
+        ``extras`` / :meth:`as_dict` so downstream tooling
+        (``scripts/bench_compare.py``) can skip absolute-throughput
+        checks on smoke artifacts instead of mistaking them for
+        regressions.  Returns ``self`` for chaining.
+        """
+        if smoke:
+            self.extras["smoke"] = True
+        else:
+            self.extras.pop("smoke", None)
+        return self
+
     def redundancy_factor(self) -> float:
         """Computed pebbles per distinct pebble (1.0 == no redundancy)."""
         distinct = self.pebbles - self.redundant

@@ -41,6 +41,7 @@ fails loudly on the first run, not on the first cache hit.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
@@ -54,6 +55,10 @@ from typing import Callable, Iterable, Sequence
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
 _SEED_MOD = 2**63
+
+#: Target chunks per worker: small enough to batch away per-task IPC,
+#: large enough that a slow chunk cannot leave workers idle at the tail.
+_CHUNKS_PER_WORKER = 4
 
 
 def canonical_json(value) -> str:
@@ -142,6 +147,79 @@ class SweepCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
 
+# -- worker pool ---------------------------------------------------------
+#
+# PR 2 created a fresh ProcessPoolExecutor per map() call, so every
+# sweep paid full worker spawn + `import repro` before the first config
+# ran — on short grids that overhead exceeded the parallel win (the
+# BENCH_sweep.json 0.9x "speedup").  The pool below is module-level and
+# persistent: workers spawn once, import the simulator once (in the
+# initializer, not lazily inside the first task), and are reused by
+# every subsequent sweep in the process.
+
+_pool = None
+_pool_workers = 0
+
+
+def _worker_init() -> None:
+    """Pay the simulator import once per worker, at spawn time."""
+    import repro.core.overlap  # noqa: F401
+
+
+def _get_pool(workers: int):
+    """The shared pool, recreated only when the worker count changes.
+
+    Returns ``(pool, reused)`` — ``reused`` is False when this call had
+    to (re)spawn workers.
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers == workers:
+        return _pool, True
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+    from concurrent.futures import ProcessPoolExecutor
+
+    _pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+    _pool_workers = workers
+    return _pool, False
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (idempotent)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _run_chunk(fn: Callable[[dict], object], payload: str) -> str:
+    """Run one chunk of configs in a worker.
+
+    Configs arrive as one compact JSON string and results leave the
+    same way — a single pickled str each direction instead of one
+    pickled dict per task, and the decode on the parent side doubles as
+    the cache-equivalence JSON round-trip (:meth:`SweepRunner._normalise`).
+    """
+    out = []
+    for cfg in json.loads(payload):
+        result = fn(cfg)
+        if result is None:
+            raise ValueError(
+                "sweep tasks must not return None (reserved for cache misses)"
+            )
+        out.append(result)
+    try:
+        return json.dumps(out)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"sweep task returned a non-JSON-serialisable result: {exc}"
+        ) from exc
+
+
 class _Progress:
     """Coarse per-config progress/ETA line on a stream."""
 
@@ -202,6 +280,8 @@ class SweepRunner:
         self.last_hits = 0
         self.last_misses = 0
         self.last_elapsed = 0.0
+        self.last_chunk_size = 0  # 0 = last map() ran inline
+        self.last_pool_reused = False
 
     def map(
         self,
@@ -245,6 +325,8 @@ class SweepRunner:
             else:
                 pending.append(i)
 
+        self.last_chunk_size = 0
+        self.last_pool_reused = False
         if pending:
             if self.workers == 1 or len(pending) == 1:
                 for i in pending:
@@ -252,17 +334,31 @@ class SweepRunner:
                     if prog:
                         prog.step()
             else:
-                from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+                from concurrent.futures import FIRST_COMPLETED, wait
 
-                with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(pending))
-                ) as pool:
-                    futures = {pool.submit(fn, configs[i]): i for i in pending}
-                    not_done = set(futures)
-                    while not_done:
-                        finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                        for fut in finished:
-                            results[futures[fut]] = self._normalise(fut.result())
+                # Chunk size scales with the grid so a sweep issues
+                # ~_CHUNKS_PER_WORKER chunks per worker regardless of
+                # grid length (one task per submit was pure overhead).
+                chunk = max(
+                    1,
+                    -(-len(pending) // (self.workers * _CHUNKS_PER_WORKER)),
+                )
+                self.last_chunk_size = chunk
+                pool, reused = _get_pool(self.workers)
+                self.last_pool_reused = reused
+                futures = {}
+                for start in range(0, len(pending), chunk):
+                    idxs = pending[start : start + chunk]
+                    payload = canonical_json([configs[i] for i in idxs])
+                    futures[pool.submit(_run_chunk, fn, payload)] = idxs
+                not_done = set(futures)
+                while not_done:
+                    finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        # _run_chunk already JSON round-tripped the
+                        # results, so the decode is the normalisation.
+                        for i, res in zip(futures[fut], json.loads(fut.result())):
+                            results[i] = res
                             if prog:
                                 prog.step()
             if self.cache is not None:

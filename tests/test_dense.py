@@ -1,0 +1,301 @@
+"""Differential tests: DenseExecutor must be bit-identical to
+GreedyExecutor on every fault-free config.
+
+The dense tier is a reimplementation of the same semantics, not an
+approximation, so these tests compare *everything* a run produces —
+makespan, pebble/message/hop counters, per-processor work (replica
+versions), value digests and replica digests — across configs spanning
+the e1 (random-delay OVERLAP), e3 (uniform-delay Theorem 4) and e5
+(graph-embedded Theorem 6) parameter grids.
+
+The CI bench-compare gate refuses runs where these tests were skipped,
+so keep them dependency-light and fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import assign_databases
+from repro.core.baselines import (
+    simulate_prior_efficient,
+    simulate_single_copy,
+    spread_assignment,
+)
+from repro.core.dense import DenseExecutor, build_executor, resolve_engine
+from repro.core.executor import GreedyExecutor
+from repro.core.killing import kill_and_label
+from repro.core.overlap import simulate_overlap, simulate_overlap_on_graph
+from repro.core.uniform import simulate_uniform, uniform_assignment
+from repro.machine.host import HostArray
+from repro.machine.programs import (
+    CounterProgram,
+    KeyedStoreProgram,
+    LedgerProgram,
+    get_program,
+)
+from repro.netsim.faults import FaultPlan, RecoveryPolicy
+from repro.topology.delays import scale_to_average, uniform_delays
+from repro.topology.generators import mesh_host, now_cluster_host, tree_host
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _random_host(n: int, d_ave: float, seed: int) -> HostArray:
+    rng = np.random.default_rng(seed)
+    return HostArray(scale_to_average(uniform_delays(n - 1, rng, 1, 8), d_ave))
+
+
+def _stats_tuple(result):
+    s = result.stats
+    return (
+        s.makespan,
+        s.pebbles,
+        s.messages,
+        s.pebble_hops,
+        s.procs_used,
+        s.redundant,
+    )
+
+
+def _per_proc_work(result):
+    """Pebbles computed per host position == sum of replica versions."""
+    work: dict[int, int] = {}
+    for (p, _c), rep in result.replicas.items():
+        work[p] = work.get(p, 0) + rep.version
+    return work
+
+
+def assert_bit_identical(host, assignment, program, steps, bandwidth=None):
+    greedy = GreedyExecutor(host, assignment, program, steps, bandwidth).run()
+    dense = DenseExecutor(host, assignment, program, steps, bandwidth).run()
+    assert _stats_tuple(dense) == _stats_tuple(greedy)
+    assert _per_proc_work(dense) == _per_proc_work(greedy)
+    assert dense.value_digests == greedy.value_digests
+    assert dense.replicas.keys() == greedy.replicas.keys()
+    for key, rep in greedy.replicas.items():
+        assert dense.replicas[key].summary() == rep.summary(), key
+    return greedy, dense
+
+
+# ---------------------------------------------------------------------------
+# e1-style grid: OVERLAP assignments on random-delay hosts
+
+E1_GRID = [
+    # (n, d_ave, steps, block, bandwidth, min_copies, seed)
+    (24, 2.0, 6, 1, None, None, 0),
+    (24, 4.0, 6, 1, None, None, 1),
+    (32, 2.0, 8, 2, None, None, 2),
+    (32, 6.0, 8, 2, None, None, 3),
+    (48, 4.0, 8, 1, None, None, 4),
+    (48, 4.0, 8, 2, 1, None, 5),  # bandwidth-1 regime: slot contention
+    (64, 8.0, 10, 2, None, None, 6),
+    (40, 3.0, 8, 1, None, 2, 7),  # min_copies=2: multi-subscriber streams
+    (40, 5.0, 12, 3, None, None, 8),
+    (56, 2.0, 6, 1, 2, None, 9),
+]
+
+
+@pytest.mark.parametrize("n,d_ave,steps,block,bw,copies,seed", E1_GRID)
+def test_differential_e1_overlap(n, d_ave, steps, block, bw, copies, seed):
+    host = _random_host(n, d_ave, seed)
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, block, min_copies=copies or 1)
+    assert_bit_identical(host, assignment, CounterProgram(), steps, bw)
+
+
+# ---------------------------------------------------------------------------
+# e3-style grid: Theorem-4 block assignments on uniform-delay hosts
+
+E3_GRID = [
+    # (n, d, steps, bandwidth)
+    (6, 4, 4, None),
+    (6, 16, 8, None),
+    (8, 16, 8, 1),
+    (8, 64, 16, None),
+    (10, 36, 12, None),
+    (12, 9, 6, 2),
+]
+
+
+@pytest.mark.parametrize("n,d,steps,bw", E3_GRID)
+def test_differential_e3_uniform(n, d, steps, bw):
+    from repro.core.uniform import block_width
+
+    host = HostArray.uniform(n, d)
+    assignment = uniform_assignment(n, block_width(d))
+    assert_bit_identical(host, assignment, CounterProgram(), steps, bw)
+
+
+# ---------------------------------------------------------------------------
+# e5-style grid: graph hosts reduced to arrays via the Fact-3 embedding
+
+
+def _e5_hosts():
+    rng = np.random.default_rng(7)
+    yield mesh_host(4, 4, uniform_delays(24, rng, 1, 6))
+    yield tree_host(4, uniform_delays(30, rng, 1, 6))
+    yield now_cluster_host(4, 4, intra_delay=1, inter_delay=8)
+
+
+@pytest.mark.parametrize("host", list(_e5_hosts()), ids=lambda h: h.name)
+def test_differential_e5_graph(host):
+    from repro.topology.embedding import embed_linear_array
+
+    array = embed_linear_array(host).host_array()
+    killing = kill_and_label(array)
+    assignment = assign_databases(killing, 2)
+    assert_bit_identical(array, assignment, CounterProgram(), 8)
+
+
+# ---------------------------------------------------------------------------
+# extra shapes: relay positions, single columns, scalar-state programs
+
+
+def test_differential_spread_with_relays():
+    # prior-efficient layout: most positions hold nothing and only relay
+    host = _random_host(32, 6.0, 11)
+    assignment = spread_assignment(32, 16, positions=[0, 10, 21, 31])
+    assert_bit_identical(host, assignment, CounterProgram(), 8)
+
+
+def test_differential_single_column_guest():
+    host = _random_host(8, 2.0, 12)
+    assignment = spread_assignment(8, 1, positions=[3])
+    assert_bit_identical(host, assignment, CounterProgram(), 6)
+
+
+@pytest.mark.parametrize("prog_name", ["ledger", "keyed", "hashchain", "token"])
+def test_differential_program_zoo(prog_name):
+    # ledger/keyed exercise the scalar (structured-state) value path;
+    # hashchain/token the vectorised one with different mixing.
+    host = _random_host(24, 3.0, 13)
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, 1)
+    assert_bit_identical(host, assignment, get_program(prog_name), 6)
+
+
+def test_differential_zero_steps():
+    host = _random_host(16, 2.0, 14)
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, 1)
+    assert_bit_identical(host, assignment, CounterProgram(), 0)
+
+
+# ---------------------------------------------------------------------------
+# front-end equivalence: simulate_* with engine= must agree end to end
+
+
+def test_simulate_overlap_engines_agree():
+    host = _random_host(48, 4.0, 21)
+    greedy = simulate_overlap(host, steps=8, block=2, engine="greedy")
+    dense = simulate_overlap(host, steps=8, block=2, engine="dense")
+    auto = simulate_overlap(host, steps=8, block=2)
+    assert dense.engine == "dense" and auto.engine == "dense"
+    assert greedy.engine == "greedy"
+    assert dense.summary() == greedy.summary() == auto.summary()
+    assert (
+        _stats_tuple(dense.exec_result)
+        == _stats_tuple(greedy.exec_result)
+        == _stats_tuple(auto.exec_result)
+    )
+
+
+def test_simulate_uniform_engines_agree():
+    greedy = simulate_uniform(8, 16, steps=8, engine="greedy")
+    dense = simulate_uniform(8, 16, steps=8, engine="dense")
+    assert _stats_tuple(dense.exec_result) == _stats_tuple(greedy.exec_result)
+    assert dense.verified and greedy.verified
+
+
+def test_simulate_overlap_on_graph_engines_agree():
+    rng = np.random.default_rng(3)
+    host = mesh_host(4, 4, uniform_delays(24, rng, 1, 6))
+    greedy = simulate_overlap_on_graph(host, steps=8, engine="greedy")
+    dense = simulate_overlap_on_graph(host, steps=8, engine="dense")
+    assert dense.engine == "dense"
+    assert _stats_tuple(dense.exec_result) == _stats_tuple(greedy.exec_result)
+
+
+def test_baselines_engines_agree():
+    host = _random_host(32, 5.0, 22)
+    for fn in (simulate_single_copy, simulate_prior_efficient):
+        greedy = fn(host, steps=8, engine="greedy")
+        dense = fn(host, steps=8, engine="dense")
+        assert _stats_tuple(dense.exec_result) == _stats_tuple(
+            greedy.exec_result
+        )
+        assert dense.makespan == greedy.makespan
+
+
+# ---------------------------------------------------------------------------
+# engine selection rules
+
+
+def test_resolve_engine_auto_prefers_dense():
+    assert resolve_engine("auto") == "dense"
+    assert resolve_engine("greedy") == "greedy"
+    assert resolve_engine("dense") == "dense"
+
+
+def test_resolve_engine_fallback_triggers():
+    plan = FaultPlan.random(16, seed=1, horizon=32, node_crash_rate=0.5)
+    assert not plan.is_empty
+    assert resolve_engine("auto", faults=plan) == "greedy"
+    assert resolve_engine("auto", faults=FaultPlan.empty()) == "dense"
+    assert resolve_engine("auto", policy=RecoveryPolicy()) == "greedy"
+    assert resolve_engine("auto", forced_dead={3}) == "greedy"
+    assert resolve_engine("auto", trace=object()) == "greedy"
+    assert resolve_engine("auto", multicast=True) == "greedy"
+    assert resolve_engine("auto", tie_seed=7) == "greedy"
+    assert resolve_engine("auto", dep_map={}) == "greedy"
+
+
+def test_resolve_engine_dense_refuses_greedy_features():
+    plan = FaultPlan.random(16, seed=1, horizon=32, node_crash_rate=0.5)
+    with pytest.raises(ValueError, match="fault injection"):
+        resolve_engine("dense", faults=plan)
+    with pytest.raises(ValueError, match="recovery policy"):
+        resolve_engine("dense", policy=RecoveryPolicy())
+    with pytest.raises(ValueError):
+        resolve_engine("nope")
+
+
+def test_simulate_overlap_auto_falls_back_on_faults():
+    host = _random_host(32, 3.0, 30)
+    plan = FaultPlan.random(
+        host.n, seed=4, horizon=64, link_outage_rate=0.1
+    )
+    assert not plan.is_empty
+    res = simulate_overlap(host, steps=6, faults=plan, verify=False)
+    assert res.engine == "greedy"
+    with pytest.raises(ValueError):
+        simulate_overlap(host, steps=6, faults=plan, engine="dense")
+
+
+def test_build_executor_dispatch():
+    host = _random_host(16, 2.0, 31)
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, 1)
+    prog = CounterProgram()
+    assert isinstance(
+        build_executor("auto", host, assignment, prog, 4), DenseExecutor
+    )
+    assert isinstance(
+        build_executor("greedy", host, assignment, prog, 4), GreedyExecutor
+    )
+    assert isinstance(
+        build_executor(
+            "auto", host, assignment, prog, 4, tie_seed=3
+        ),
+        GreedyExecutor,
+    )
+
+
+def test_dense_verifies_against_reference():
+    # End-to-end: dense results pass the bit-exact reference check.
+    host = _random_host(40, 4.0, 33)
+    res = simulate_overlap(host, steps=8, engine="dense", verify=True)
+    assert res.verified

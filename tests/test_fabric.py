@@ -176,3 +176,57 @@ class TestLineFabric:
         assert lf.total_injections == 3
         lf.reset()
         assert lf.total_injections == 0
+
+
+class TestFaultAwareRouting:
+    """A cached route/delay memo must never mask an outage window."""
+
+    def triangle(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, **{DELAY_ATTR: 1})  # edge index 0
+        g.add_edge(0, 2, **{DELAY_ATTR: 1})  # edge index 1
+        g.add_edge(1, 2, **{DELAY_ATTR: 1})  # edge index 2
+        return g
+
+    def test_attach_faults_drops_stale_memos(self):
+        f = Fabric(self.triangle())
+        assert f.route(0, 1) == [0, 1]  # warm the memo pre-attach
+        assert f.route_delay(0, 1) == 1
+        assert f._route_cache and f._delay_cache
+        f.attach_faults(FaultTables(FaultPlan(), n=3, n_links=3))
+        assert not f._route_cache and not f._delay_cache
+
+    def test_cached_route_does_not_mask_outage(self):
+        f = Fabric(self.triangle())
+        assert f.route(0, 1) == [0, 1]  # memoised on the healthy graph
+        plan = FaultPlan().link_down(0, time=10, duration=10)
+        f.attach_faults(FaultTables(plan, n=3, n_links=3))
+        # Inside the window the direct link is down: the fabric must
+        # return the detour, not the pre-attach memo.
+        assert f.route(0, 1, at=15) == [0, 2, 1]
+        assert f.route_delay(0, 1, at=15) == 2
+        # Outside the window the direct route is valid again.
+        assert f.route(0, 1, at=25) == [0, 1]
+        assert f.route_delay(0, 1, at=25) == 1
+
+    def test_outage_can_disconnect(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, **{DELAY_ATTR: 1})
+        f = Fabric(g)
+        plan = FaultPlan().link_down(0, time=0, duration=5)
+        f.attach_faults(FaultTables(plan, n=2, n_links=1))
+        with pytest.raises(nx.NetworkXNoPath):
+            f.route(0, 1, at=2)
+
+    def test_is_link_down_is_pure(self):
+        # Probing link health must not consume one-shot drops.
+        plan = FaultPlan().link_down(0, time=5, duration=5).drop(1, time=0)
+        tables = FaultTables(plan, n=3, n_links=3)
+        for _ in range(3):
+            assert tables.is_link_down(0, 1, 7)
+            assert not tables.is_link_down(0, 1, 3)
+            assert not tables.is_link_down(1, 1, 0)  # drop is not an outage
+        from repro.netsim.faults import LOST
+
+        assert tables.link_outcome(1, 1, 0) is LOST  # drop still armed
+        assert tables.link_outcome(1, 1, 0) == 0  # ... and one-shot

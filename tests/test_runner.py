@@ -115,6 +115,70 @@ class TestSweepRunner:
             SweepRunner().map(lambda cfg: object(), [{"x": 1}])
 
 
+class TestCacheCollisions:
+    """Cache keys are content hashes: key order must not matter,
+    value differences must."""
+
+    def test_nested_key_order_permutations_hash_identically(self):
+        # Every insertion-order permutation, at every nesting level, is
+        # the same config and must map to the same cache entry.
+        import itertools
+
+        inner = {"block": 2, "bw": 1, "copies": 3}
+        outer_items = [("n", 64), ("d", 4), ("opts", None)]
+        hashes = set()
+        for inner_perm in itertools.permutations(inner.items()):
+            for outer_perm in itertools.permutations(outer_items):
+                cfg = {
+                    k: (dict(inner_perm) if k == "opts" else v)
+                    for k, v in outer_perm
+                }
+                hashes.add(config_hash("task", "1", cfg))
+        assert len(hashes) == 1
+
+    def test_nested_value_difference_changes_hash(self):
+        base = {"n": 64, "opts": {"block": 2, "grid": [1, 2, 3]}}
+        for mutant in (
+            {"n": 64, "opts": {"block": 3, "grid": [1, 2, 3]}},
+            {"n": 64, "opts": {"block": 2, "grid": [1, 2, 4]}},
+            {"n": 64, "opts": {"block": 2, "grid": [1, 2]}},
+            {"n": 65, "opts": {"block": 2, "grid": [1, 2, 3]}},
+        ):
+            assert config_hash("t", "1", mutant) != config_hash("t", "1", base)
+
+    def test_key_order_permutation_is_a_cache_hit(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.map(_square, [{"x": 2, "seed": 1}])
+        runner.map(_square, [{"seed": 1, "x": 2}])
+        assert (runner.last_hits, runner.last_misses) == (1, 0)
+        assert len(runner.cache) == 1
+
+    def test_differing_values_do_not_share_entries(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        out2 = runner.map(_square, [{"x": 2}])
+        out3 = runner.map(_square, [{"x": 3}])
+        assert runner.last_misses == 1  # no false hit on the second map
+        assert out2[0]["value"] == 4 and out3[0]["value"] == 9
+        assert len(runner.cache) == 2
+
+
+class TestParallelPool:
+    def test_pool_reused_and_chunked_across_maps(self):
+        configs = [{"x": x} for x in range(8)]
+        runner = SweepRunner(workers=2)
+        first = runner.map(_square, configs, seed_key="seed")
+        assert runner.last_chunk_size >= 1
+        second = runner.map(_square, configs, seed_key="seed")
+        assert runner.last_pool_reused
+        assert first == second
+
+    def test_serial_map_reports_no_chunking(self):
+        runner = SweepRunner(workers=1)
+        runner.map(_square, [{"x": 1}])
+        assert runner.last_chunk_size == 0
+        assert runner.last_pool_reused is False
+
+
 class TestAmbientRunner:
     def test_default_is_serial_uncached(self):
         runner = active_runner()
