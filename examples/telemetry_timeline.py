@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Watch OVERLAP hide latency, step by step.
+
+Runs one OVERLAP simulation with a :class:`MetricsTimeline` attached
+and renders what the paper describes qualitatively: while the host
+computes pebbles at full tilt, a standing population of pebbles is
+simultaneously *in flight* on the links — computation and
+communication overlapped, which is the entire trick.
+
+The script
+
+1. simulates a 96-workstation host with telemetry enabled (the auto
+   engine picks the dense tier; the timeline is identical either way),
+2. reconciles the per-step counters against the run's ``SimStats``
+   (they must sum exactly — this is asserted, not assumed),
+3. draws an ASCII activity timeline (pebbles/step vs pebbles on the
+   wire),
+4. writes a Chrome ``trace_event`` file — open it at
+   https://ui.perfetto.dev (or chrome://tracing) to scrub through the
+   run interactively.
+
+Run:  python examples/telemetry_timeline.py [trace.json]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import HostArray, simulate_overlap
+from repro.analysis.report import print_kv
+from repro.telemetry import MetricsTimeline, write_chrome_trace
+from repro.topology.delays import scale_to_average, uniform_delays
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    host = HostArray(scale_to_average(uniform_delays(95, rng, 1, 8), 6.0))
+
+    timeline = MetricsTimeline()
+    result = simulate_overlap(host, steps=16, block=2, telemetry=timeline)
+
+    totals = timeline.reconcile(result.exec_result.stats)  # exact, or raises
+    summary = timeline.summary()
+    print_kv(
+        {
+            "engine": result.engine,
+            "slowdown": round(result.slowdown, 1),
+            "pebbles computed": totals["pebbles"],
+            "... of which recomputed replicas": totals["redundant"],
+            "link hops": totals["hops"],
+            "peak pebbles in flight": summary["peak_in_flight"],
+            "mean utilization": summary["mean_utilization"],
+        },
+        title="One OVERLAP run, reconciled",
+    )
+
+    print()
+    print("Latency being hidden: computation (pebbles) stays busy while")
+    print("the links (in_flight) stay loaded — neither waits for the other.")
+    print()
+    print(timeline.ascii_timeline(("pebbles", "in_flight"), width=68, height=12))
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "telemetry_timeline_trace.json"
+    doc = write_chrome_trace(out, timeline=timeline, label="example run")
+    print(f"\nwrote {len(doc['traceEvents'])} trace events to {out}")
+    print("open in https://ui.perfetto.dev to scrub through the run")
+
+
+if __name__ == "__main__":
+    main()

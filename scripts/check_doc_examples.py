@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Execute the fenced ``python`` code blocks in the documentation.
+
+Documentation examples rot silently: an API rename leaves every test
+green while the README teaches a signature that no longer exists.
+This script makes the docs part of the test surface — every fenced
+block whose info string is exactly ``python`` is extracted and run in
+its own interpreter, so each block must be **self-contained** (its own
+imports, its own data).
+
+* Blocks tagged with anything else (``bash``, ``text``, or
+  ``python no-run`` for illustrative fragments) are skipped.
+* Blocks run with the repository's ``src/`` on ``PYTHONPATH`` and a
+  throwaway working directory, so examples that write files cannot
+  litter the checkout.
+* A failing block reports its file, the line of its opening fence and
+  the interpreter's stderr.
+
+Usage::
+
+    python scripts/check_doc_examples.py            # README.md + docs/*.md
+    python scripts/check_doc_examples.py docs/API.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(r"^(`{3,})(.*)$")
+
+#: Per-block wall clamp; doc examples are meant to be skim-runnable.
+TIMEOUT_S = 240
+
+
+def default_files() -> list[pathlib.Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def extract_blocks(path: pathlib.Path) -> list[tuple[int, str]]:
+    """``(first fence line number, source)`` for every ``python`` block."""
+    blocks: list[tuple[int, str]] = []
+    fence: str | None = None
+    collect = False
+    start = 0
+    buf: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        m = _FENCE.match(line.strip())
+        if fence is None:
+            if m:
+                fence = m.group(1)
+                info = m.group(2).strip()
+                collect = info == "python"
+                start = lineno
+                buf = []
+        elif m and m.group(1).startswith(fence) and not m.group(2).strip():
+            if collect:
+                blocks.append((start, "\n".join(buf) + "\n"))
+            fence = None
+        else:
+            buf.append(line)
+    return blocks
+
+
+def run_block(source: str, workdir: str) -> subprocess.CompletedProcess:
+    env = {
+        "PYTHONPATH": str(REPO_ROOT / "src"),
+        "PATH": "/usr/bin:/bin:/usr/local/bin",
+    }
+    return subprocess.run(
+        [sys.executable, "-c", source],
+        cwd=workdir,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [pathlib.Path(a) for a in argv] if argv else default_files()
+    total = failures = 0
+    for path in files:
+        rel = path.resolve().relative_to(REPO_ROOT)
+        for lineno, source in extract_blocks(path):
+            total += 1
+            with tempfile.TemporaryDirectory() as workdir:
+                proc = run_block(source, workdir)
+            status = "ok" if proc.returncode == 0 else "FAIL"
+            print(f"[doc-examples] {rel}:{lineno} {status}")
+            if proc.returncode != 0:
+                failures += 1
+                indented = "\n".join(
+                    "    " + l for l in (proc.stderr or proc.stdout).splitlines()
+                )
+                print(indented, file=sys.stderr)
+    print(f"[doc-examples] {total - failures}/{total} block(s) passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

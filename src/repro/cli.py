@@ -65,7 +65,17 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
         "workers": args.workers,
         "cache_dir": None if args.no_cache else default_cache_dir(),
         "progress": args.progress,
+        "profile": args.telemetry,
     }
+
+
+def _print_profile(result) -> None:
+    """Print the sweep profile attached by ``--telemetry`` (if any)."""
+    if result.profile:
+        from repro.telemetry.profile import format_profile
+
+        print()
+        print(format_profile(result.profile))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -78,6 +88,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.id, quick=not args.full, engine=args.engine, **_sweep_kwargs(args)
     )
     result.print()
+    _print_profile(result)
     return 0
 
 
@@ -91,6 +102,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
             exp_id, quick=not args.full, engine=args.engine, **sweep_kwargs
         )
         result.print()
+        _print_profile(result)
         if out:
             (out / f"{exp_id}.txt").write_text(result.render() + "\n")
             if args.json:
@@ -133,12 +145,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(faults.describe())
         print()
     trace = Trace()
+    telemetry = None
+    if args.telemetry or args.trace_out:
+        from repro.telemetry import MetricsTimeline
+
+        telemetry = MetricsTimeline()
     program = get_program(args.program)
     killing = kill_and_label(host)
     assignment = assign_databases(killing, block=args.block, min_copies=min_copies)
     try:
-        GreedyExecutor(
-            host, assignment, program, args.steps, trace=trace, faults=faults
+        result = GreedyExecutor(
+            host,
+            assignment,
+            program,
+            args.steps,
+            trace=trace,
+            faults=faults,
+            telemetry=telemetry,
         ).run()
     except SimulationDeadlock as exc:
         print(f"SIMULATION DEADLOCK: {exc}", file=sys.stderr)
@@ -153,6 +176,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"  t={t:>6} {kind}: {detail}")
     print("\nspace-time diagram (x: host position, y: time):")
     print(trace.spacetime_ascii(host.n, width=72, height=18))
+    if args.telemetry:
+        print("\ntelemetry summary (per-step counters):")
+        for k, v in telemetry.summary().items():
+            print(f"  {k}: {v}")
+        telemetry.reconcile(result.stats)
+        print("\n" + telemetry.ascii_timeline(width=72, height=12))
+    if args.trace_out:
+        from repro.telemetry import write_chrome_trace
+
+        doc = write_chrome_trace(
+            args.trace_out,
+            timeline=telemetry,
+            trace=trace,
+            label=f"{args.preset} beta={args.block} T={args.steps}",
+        )
+        print(
+            f"\nwrote {len(doc['traceEvents'])} trace events to "
+            f"{args.trace_out} (open in chrome://tracing or "
+            "https://ui.perfetto.dev)"
+        )
     print(f"\nslowdown: {trace.makespan / args.steps:.1f}")
     return 0
 
@@ -211,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
             "it, greedy forces the event-driven engine; results are "
             "bit-identical either way",
         )
+        p.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="profile the sweeps (wall time per worker/chunk, cache "
+            "hit vs recompute) and print the attribution after the "
+            "tables; results are unchanged",
+        )
 
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("id", help="experiment id (e1..e10, f1..f6)")
@@ -252,6 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.1,
         help="per-node crash rate of the random plan (with --faults)",
+    )
+    p_trace.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect a per-step MetricsTimeline and print its summary "
+        "plus an ASCII activity timeline",
+    )
+    p_trace.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the run as Chrome trace_event JSON (open in "
+        "chrome://tracing or Perfetto)",
     )
     p_trace.set_defaults(func=_cmd_trace)
 

@@ -35,7 +35,11 @@ policies, forced-dead reconfiguration, tracing, multicast streams,
 scheduling jitter (``tie_seed``) and relabelled guests (``dep_map`` /
 ``col_label``, i.e. rings) all take the greedy engine.
 :func:`resolve_engine` encodes that selection rule for the
-``engine="auto"`` front-ends.
+``engine="auto"`` front-ends.  Telemetry is the one observability
+feature both tiers support: an attached
+:class:`~repro.telemetry.timeline.MetricsTimeline` is fed from the
+retained event buckets *after* the timed loop, so it never forces the
+greedy fallback and never perturbs dense timing.
 """
 
 from __future__ import annotations
@@ -124,6 +128,7 @@ class DenseExecutor:
         "m",
         "used",
         "subscribers",
+        "telemetry",
     )
 
     def __init__(
@@ -133,6 +138,7 @@ class DenseExecutor:
         program: Program,
         steps: int,
         bandwidth: int | None = None,
+        telemetry=None,
     ) -> None:
         if assignment.n != host.n:
             raise ValueError(
@@ -151,6 +157,11 @@ class DenseExecutor:
         )
         self.m = assignment.m
         self.used = assignment.used_positions()
+        # Optional MetricsTimeline.  The dense loop never checks it: the
+        # bucket lists *are* the full event history (append-only), so an
+        # attached timeline is fed by a post-pass over them after the
+        # timed simulation — zero overhead inside the loop either way.
+        self.telemetry = telemetry
         self._build_subscriptions()
 
     def _build_subscriptions(self) -> None:
@@ -522,7 +533,58 @@ class DenseExecutor:
         stats.pebbles = n_pebbles
         stats.messages = n_messages
         stats.pebble_hops = injections
+        if self.telemetry is not None:
+            self._feed_telemetry(buckets, makespan)
         return makespan
+
+    def _feed_telemetry(self, buckets: list[list[tuple]], makespan: int) -> None:
+        """Replay the retained event buckets into the attached timeline.
+
+        Runs *after* the timed loop (buckets are append-only, so they
+        still hold the complete event history).  Produces exactly the
+        per-step counters the instrumented greedy loop records: a
+        ``_DONE`` at step ``now`` is one pebble completion (and one
+        message launch per subscriber of that column); a ``_MSG`` at
+        step ``now`` is one link arrival whose injection slot was
+        ``now - delay`` of the link it arrived on (dense computes
+        arrivals as ``slot + delay``, so the subtraction is exact).
+        """
+        tl = self.telemetry
+        tl.meta.setdefault("engine", "dense")
+        delays = self.host.link_delays
+        subscribers_get = self.subscribers.get
+        # A _MSG event carries its final target, not its travel
+        # direction: when it *reaches* the target the arriving link is
+        # recovered from which side the providing owner sits on.
+        provider_of: dict[tuple[int, int], int] = {}
+        for (q, c), subs in self.subscribers.items():
+            for p in subs:
+                provider_of[(p, c)] = q
+        lo_of = {p: self.assignment.ranges[p][0] for p in self.used}
+        tl.spans.begin("epoch", 0, track="epochs", epoch=0)
+        pebble = tl.pebble
+        send = tl.send
+        message = tl.message
+        deliver = tl.deliver
+        for now, bucket in enumerate(buckets):
+            for ev in bucket:
+                if ev[0] == _DONE:
+                    _, p, i, t = ev
+                    c = lo_of[p] + i
+                    pebble(now, p, c, t)
+                    subs = subscribers_get((p, c))
+                    if subs:
+                        message(now, len(subs))
+                else:
+                    _, pos, dst, c, t = ev
+                    if pos == dst:
+                        rightward = pos > provider_of[(pos, c)]
+                        deliver(now)
+                    else:
+                        rightward = dst > pos
+                    j = pos - 1 if rightward else pos
+                    send(now - delays[j], now)
+        tl.spans.close_all(makespan)
 
     def run(self):
         """Execute; returns an :class:`~repro.core.executor.ExecResult`
@@ -568,6 +630,9 @@ def build_executor(
     ``greedy_kwargs`` are the greedy-only features (``faults``,
     ``policy``, ``trace``, ...); any of them being active forces (or,
     under ``engine='auto'``, silently selects) the greedy engine.
+    ``telemetry`` is the exception: both tiers support an attached
+    :class:`~repro.telemetry.timeline.MetricsTimeline`, so it never
+    forces a fallback.
     """
     from repro.core.executor import GreedyExecutor
 
@@ -582,7 +647,14 @@ def build_executor(
         dep_map=greedy_kwargs.get("dep_map"),
     )
     if resolved == "dense":
-        return DenseExecutor(host, assignment, program, steps, bandwidth)
+        return DenseExecutor(
+            host,
+            assignment,
+            program,
+            steps,
+            bandwidth,
+            telemetry=greedy_kwargs.get("telemetry"),
+        )
     greedy_kwargs.pop("forced_dead", None)
     return GreedyExecutor(
         host, assignment, program, steps, bandwidth, **greedy_kwargs

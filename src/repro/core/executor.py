@@ -131,6 +131,7 @@ class GreedyExecutor:
         "dep_map",
         "col_label",
         "trace",
+        "telemetry",
         "multicast",
         "_tie_seed",
         "_rank",
@@ -171,6 +172,7 @@ class GreedyExecutor:
         faults: FaultPlan | None = None,
         policy: RecoveryPolicy | None = None,
         reassign=None,
+        telemetry=None,
     ) -> None:
         """Build an executor.
 
@@ -193,6 +195,13 @@ class GreedyExecutor:
         :class:`Assignment` — default: re-run OVERLAP's killing stages
         with ``min_copies=2``).  An empty/absent plan takes the plain
         loop, bit-identical to the fault-free executor.
+
+        ``telemetry`` is an optional
+        :class:`~repro.telemetry.timeline.MetricsTimeline` to fill with
+        per-step counters.  With ``None`` (the default) the plain loop
+        runs with zero telemetry branches; with a timeline attached the
+        run dispatches to an instrumented copy of the same loop (fault
+        runs check inline) — results are identical either way.
         """
         if assignment.n != host.n:
             raise ValueError(
@@ -211,6 +220,7 @@ class GreedyExecutor:
         self.dep_map = dep_map
         self.col_label = col_label or (lambda c: c)
         self.trace = trace
+        self.telemetry = telemetry
         self.multicast = multicast
         self._tie_seed = tie_seed
         self._make_rank()
@@ -388,6 +398,8 @@ class GreedyExecutor:
     def run(self) -> ExecResult:
         if self._faulty:
             return self._run_faulty()
+        if self.telemetry is not None:
+            return self._run_telemetry()
         stats = SimStats()
         queue = EventQueue()
         T = self.T
@@ -504,6 +516,144 @@ class GreedyExecutor:
             raise self._deadlock(f"{remaining} pebbles never computed")
         return self._finish(stats, makespan)
 
+    def _run_telemetry(self) -> ExecResult:
+        """Instrumented copy of the plain loop (fault-free + telemetry).
+
+        Byte-for-byte the same event processing as :meth:`run` — the
+        timeline only *observes* (completions, injections, deliveries),
+        never alters ready times or push order — so results stay
+        bit-identical to the un-instrumented run.  Kept as a separate
+        method so the plain loop carries zero telemetry branches.
+        """
+        tl = self.telemetry
+        tl.meta.setdefault("engine", "greedy")
+        stats = SimStats()
+        queue = EventQueue()
+        T = self.T
+        makespan = 0
+        remaining = sum(1 for p in self.used for _ in self.done[p]) * T
+
+        if T == 0 or remaining == 0:
+            return self._finish(stats, 0)
+
+        tl.spans.begin("epoch", 0, track="epochs", epoch=0)
+        for p in self.used:
+            self._try_start(p, 0, queue)
+
+        fabric_hop = self.fabric.hop
+        fabric_hop_many = self.fabric.hop_many
+        delays = self.fabric.link_delays
+        busy = self.busy
+        done = self.done
+        vals = self.vals
+        ext = self.ext
+        subscribers_get = self.subscribers.get
+        try_start = self._try_start
+        push = queue.push
+        pop = queue.pop
+        trace = self.trace
+        multicast = self.multicast
+        tl_pebble = tl.pebble
+        tl_send = tl.send
+        tl_message = tl.message
+        tl_deliver = tl.deliver
+        n_pebbles = 0
+        n_messages = 0
+        while queue:
+            ev = pop()
+            now = ev.time
+            if ev.kind == _DONE:
+                p, c, t = ev.data
+                busy[p] = False
+                done[p][c] = t
+                n_pebbles += 1
+                remaining -= 1
+                tl_pebble(now, p, c, t)
+                if trace is not None:
+                    trace.record(now, p, c, t)
+                if now > makespan:
+                    makespan = now
+                subs = subscribers_get((p, c))
+                if subs:
+                    value = vals[p][c][t]
+                    if multicast:
+                        left = tuple(sorted((d for d in subs if d < p), reverse=True))
+                        right = tuple(sorted(d for d in subs if d > p))
+                        for targets in (left, right):
+                            if not targets:
+                                continue
+                            n_messages += 1
+                            tl_message(now)
+                            step = 1 if targets[0] > p else -1
+                            arr = fabric_hop(p, step, now)
+                            tl_send(arr - delays[p if step == 1 else p - 1], arr)
+                            push(arr, _MSG, (p + step, targets, c, t, value))
+                    elif len(subs) == 1:
+                        dst = subs[0]
+                        n_messages += 1
+                        tl_message(now)
+                        step = 1 if dst > p else -1
+                        arr = fabric_hop(p, step, now)
+                        tl_send(arr - delays[p if step == 1 else p - 1], arr)
+                        push(arr, _MSG, (p + step, (dst,), c, t, value))
+                    else:
+                        n_right = 0
+                        for dst in subs:
+                            if dst > p:
+                                n_right += 1
+                        right_arr = (
+                            fabric_hop_many(p, 1, now, n_right) if n_right else ()
+                        )
+                        n_left = len(subs) - n_right
+                        left_arr = (
+                            fabric_hop_many(p, -1, now, n_left) if n_left else ()
+                        )
+                        n_messages += len(subs)
+                        tl_message(now, len(subs))
+                        d_right = delays[p] if n_right else 0
+                        d_left = delays[p - 1] if n_left else 0
+                        for arr in right_arr:
+                            tl_send(arr - d_right, arr)
+                        for arr in left_arr:
+                            tl_send(arr - d_left, arr)
+                        ri = li = 0
+                        for dst in subs:
+                            if dst > p:
+                                arr = right_arr[ri]
+                                ri += 1
+                                push(arr, _MSG, (p + 1, (dst,), c, t, value))
+                            else:
+                                arr = left_arr[li]
+                                li += 1
+                                push(arr, _MSG, (p - 1, (dst,), c, t, value))
+                try_start(p, now, queue)
+            else:  # _MSG
+                pos, targets, c, t, value = ev.data
+                if pos == targets[0]:
+                    e = ext[pos][c]
+                    if t != e[0] + 1:  # pragma: no cover - invariant guard
+                        raise AssertionError(
+                            f"out-of-order delivery of ({c},{t}) at {pos}: "
+                            f"have {e[0]}"
+                        )
+                    e[1][t] = value
+                    e[0] = t
+                    tl_deliver(now)
+                    targets = targets[1:]
+                    try_start(pos, now, queue)
+                if targets:
+                    step = 1 if targets[0] > pos else -1
+                    arr = fabric_hop(pos, step, now)
+                    tl_send(arr - delays[pos if step == 1 else pos - 1], arr)
+                    push(arr, _MSG, (pos + step, targets, c, t, value))
+
+        stats.pebbles = n_pebbles
+        stats.messages = n_messages
+        if remaining:
+            raise self._deadlock(f"{remaining} pebbles never computed")
+        tl.spans.close_all(makespan)
+        return self._finish(stats, makespan)
+
     # -- fault-aware engine ----------------------------------------------
     def _deadlock(self, message: str) -> SimulationDeadlock:
         """Build a :class:`SimulationDeadlock` with full diagnostics."""
@@ -617,6 +767,17 @@ class GreedyExecutor:
             self.trace.record_fault(
                 now, "recovery", f"epoch {self._epoch}: m {old_m}->{self.m}"
             )
+        if self.telemetry is not None:
+            tl = self.telemetry
+            tl.fault(now, "recovery", f"epoch {self._epoch}: m {old_m}->{self.m}")
+            # Close the crashed epoch, mark the restart window, open the
+            # next epoch where execution resumes.
+            tl.spans.close_all(now)
+            tl.spans.begin("recovery", now, track="epochs")
+            tl.spans.end(now + penalty)
+            tl.spans.begin(
+                "epoch", now + penalty, track="epochs", epoch=self._epoch
+            )
         queue.push(now + penalty, _RESUME, self._epoch)
         return sum(len(self.done[p]) for p in self.used) * self.T
 
@@ -635,6 +796,7 @@ class GreedyExecutor:
         T = self.T
         host = self.host
         policy = self.policy
+        tl = self.telemetry
         makespan = 0
         self._epoch = 0
         self._dead: set[int] = set()
@@ -649,6 +811,9 @@ class GreedyExecutor:
         if T == 0 or remaining == 0:
             return self._finish(stats, 0)
 
+        if tl is not None:
+            tl.meta.setdefault("engine", "greedy")
+            tl.spans.begin("epoch", 0, track="epochs", epoch=0)
         for pos, t_crash in sorted(self._fault_tables.crash_times.items()):
             queue.push(t_crash, _CRASH, pos)
         for p in self.used:
@@ -670,6 +835,8 @@ class GreedyExecutor:
                 stats.pebbles += 1
                 remaining -= 1
                 self._progress += 1
+                if tl is not None:
+                    tl.pebble(now, p, c, t)
                 if self.trace is not None:
                     self.trace.record(now, p, c, t)
                 if now > makespan:
@@ -684,22 +851,36 @@ class GreedyExecutor:
                             if not targets:
                                 continue
                             stats.messages += 1
+                            if tl is not None:
+                                tl.message(now)
                             step = 1 if targets[0] > p else -1
                             arr = hop(p, step, now)
                             if arr is LOST:
                                 stats.lost_messages += 1
+                                if tl is not None:
+                                    tl.send(now, now)
+                                    tl.drop(now)
                             else:
+                                if tl is not None:
+                                    tl.send(now, arr)
                                 queue.push(
                                     arr, _MSG, (p + step, targets, c, t, value, ep)
                                 )
                     else:
                         for dst in subs:
                             stats.messages += 1
+                            if tl is not None:
+                                tl.message(now)
                             step = 1 if dst > p else -1
                             arr = hop(p, step, now)
                             if arr is LOST:
                                 stats.lost_messages += 1
+                                if tl is not None:
+                                    tl.send(now, now)
+                                    tl.drop(now)
                             else:
+                                if tl is not None:
+                                    tl.send(now, arr)
                                 queue.push(
                                     arr, _MSG, (p + step, (dst,), c, t, value, ep)
                                 )
@@ -720,6 +901,8 @@ class GreedyExecutor:
                         e[1][t] = value
                         e[0] = t
                         self._progress += 1
+                        if tl is not None:
+                            tl.deliver(now)
                         self._try_start(pos, now, queue)
                     targets = targets[1:]
                 if targets:
@@ -727,7 +910,12 @@ class GreedyExecutor:
                     arr = hop(pos, step, now)
                     if arr is LOST:
                         stats.lost_messages += 1
+                        if tl is not None:
+                            tl.send(now, now)
+                            tl.drop(now)
                     else:
+                        if tl is not None:
+                            tl.send(now, arr)
                         queue.push(arr, _MSG, (pos + step, targets, c, t, value, ep))
             elif kind == _CRASH:
                 pos = ev.data
@@ -738,6 +926,8 @@ class GreedyExecutor:
                 self._fault_log.append(f"t={now} crash node {pos}")
                 if self.trace is not None:
                     self.trace.record_fault(now, "crash", f"node {pos}")
+                if tl is not None:
+                    tl.fault(now, "crash", f"node {pos}")
                 for holders in self._holders.values():
                     holders.discard(pos)
                 if self.assignment.ranges[pos] is None:
@@ -808,6 +998,8 @@ class GreedyExecutor:
                 )
                 if self.trace is not None:
                     self.trace.record_fault(now, "retry", f"{p} col {c} from {q2}")
+                if tl is not None:
+                    tl.fault(now, "retry", f"{p} col {c} from {q2}")
                 queue.push(now + max(1, host.distance(p, q2)), _REQ, (q2, p, c, e[0], ep))
                 queue.push(now + self._stream_timeout(p, q2), _CHECK, (p, c, ep))
             elif kind == _REQ:
@@ -831,16 +1023,28 @@ class GreedyExecutor:
                     # every per-pebble fault check is a no-op, so the
                     # batched injection is exactly equivalent.
                     stats.messages += count
+                    if tl is not None:
+                        tl.message(now, count)
                     arrivals = self.fabric.hop_many(q, step, now, count)
+                    if tl is not None:
+                        for arr in arrivals:
+                            tl.send(now, arr)
                     for t, arr in zip(range(from_t + 1, have + 1), arrivals):
                         queue.push(arr, _MSG, (q + step, (p,), c, t, col_vals[t], ep))
                 else:
                     for t in range(from_t + 1, have + 1):
                         stats.messages += 1
+                        if tl is not None:
+                            tl.message(now)
                         arr = hop(q, step, now)
                         if arr is LOST:
                             stats.lost_messages += 1
+                            if tl is not None:
+                                tl.send(now, now)
+                                tl.drop(now)
                         else:
+                            if tl is not None:
+                                tl.send(now, arr)
                             queue.push(arr, _MSG, (q + step, (p,), c, t, col_vals[t], ep))
             else:  # _WATCH
                 if remaining and self._progress == ev.data:
@@ -852,6 +1056,8 @@ class GreedyExecutor:
 
         if remaining:
             raise self._deadlock(f"{remaining} pebbles never computed")
+        if tl is not None:
+            tl.spans.close_all(makespan)
         return self._finish(stats, makespan)
 
     def _finish(self, stats: SimStats, makespan: int) -> ExecResult:

@@ -50,6 +50,7 @@ class OverlapResult:
     embedding: ArrayEmbedding | None = None
     faults: FaultPlan | None = None
     engine: str = "greedy"  # execution tier actually used (resolved)
+    telemetry: object | None = None  # MetricsTimeline when requested
 
     @property
     def slowdown(self) -> float:
@@ -135,6 +136,7 @@ def simulate_overlap(
     policy: RecoveryPolicy | None = None,
     min_copies: int | None = None,
     engine: str = "auto",
+    telemetry=None,
 ) -> OverlapResult:
     """Run algorithm OVERLAP on a host array.
 
@@ -181,6 +183,12 @@ def simulate_overlap(
         ``"dense"`` / ``"greedy"`` force a tier (``"dense"`` raises if
         the config needs greedy-only machinery).  Both tiers produce
         bit-identical results on any config ``auto`` would run densely.
+    telemetry:
+        Optional :class:`~repro.telemetry.timeline.MetricsTimeline` to
+        fill with per-step counters (and epoch/recovery spans on fault
+        runs).  Supported by *both* tiers — attaching one never changes
+        the engine selection or the results; the filled timeline is
+        returned on :attr:`OverlapResult.telemetry`.
     """
     program = program or CounterProgram()
     forced_dead = normalize_forced_dead(host.n, forced_dead)
@@ -205,7 +213,7 @@ def simulate_overlap(
     )
     if resolved == "dense":
         exec_result = DenseExecutor(
-            host, assignment, program, steps, bandwidth
+            host, assignment, program, steps, bandwidth, telemetry=telemetry
         ).run()
     else:
         exec_result = GreedyExecutor(
@@ -217,6 +225,7 @@ def simulate_overlap(
             faults=faults,
             policy=policy,
             reassign=reassign,
+            telemetry=telemetry,
         ).run()
     schedule = build_schedule(killing.params, base_work=float(max(1, block)))
     verified = False
@@ -229,7 +238,7 @@ def simulate_overlap(
         verified = True
     return OverlapResult(
         host, killing, assignment, exec_result, schedule, steps, verified,
-        faults=faults, engine=resolved,
+        faults=faults, engine=resolved, telemetry=telemetry,
     )
 
 
@@ -246,6 +255,7 @@ def simulate_overlap_on_graph(
     policy: RecoveryPolicy | None = None,
     min_copies: int | None = None,
     engine: str = "auto",
+    telemetry=None,
 ) -> OverlapResult:
     """Theorem 6: OVERLAP on an arbitrary connected host network.
 
@@ -288,6 +298,7 @@ def simulate_overlap_on_graph(
         policy=policy,
         min_copies=min_copies,
         engine=engine,
+        telemetry=telemetry,
     )
     result.embedding = embedding
     return result

@@ -27,6 +27,9 @@ class ExperimentResult:
     rows: list[dict]
     summary: dict = field(default_factory=dict)
     columns: list[str] | None = None
+    #: Sweep wall-time attribution (``SweepProfile.as_dict()``), filled
+    #: only when run_experiment(profile=True) / `repro run --telemetry`.
+    profile: dict | None = None
 
     def render(self) -> str:
         """Paper-style text block: title, table, summary lines."""
@@ -82,6 +85,7 @@ def run_experiment(
     workers: int | None = None,
     cache_dir: str | None = None,
     progress: bool = False,
+    profile: bool = False,
     **kwargs,
 ) -> ExperimentResult:
     """Run one experiment through the sweep engine.
@@ -92,6 +96,12 @@ def run_experiment(
     ``workers`` processes and reuse the content-hash cache at
     ``cache_dir`` (``None`` disables caching).  The result table is
     bit-for-bit identical at every worker count.
+
+    ``profile=True`` (the CLI's ``--telemetry``) attaches a
+    :class:`~repro.telemetry.profile.SweepProfile` to the runner and
+    returns its dict form on :attr:`ExperimentResult.profile` — wall
+    time per worker/chunk plus the cache-hit vs recompute split,
+    accumulated over every sweep the experiment issues.
     """
     import inspect
 
@@ -102,6 +112,11 @@ def run_experiment(
     # to experiments whose run() declares them; the rest are unaffected.
     params = inspect.signature(run).parameters
     kwargs = {k: v for k, v in kwargs.items() if k in params}
-    runner = SweepRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+    runner = SweepRunner(
+        workers=workers, cache_dir=cache_dir, progress=progress, profile=profile
+    )
     with using(runner):
-        return run(quick=quick, **kwargs)
+        result = run(quick=quick, **kwargs)
+    if runner.profile is not None:
+        result.profile = runner.profile.as_dict()
+    return result

@@ -202,6 +202,19 @@ class Fabric:
         """Pebble-hops across all pipes (a bandwidth-usage metric)."""
         return sum(p.injected for p in self._pipes.values())
 
+    def per_edge_injections(self) -> dict[tuple[Hashable, Hashable], int]:
+        """Lifetime injections per *directed* edge ``(u, v)``.
+
+        The per-link view of :attr:`total_injections` — which links a
+        run actually saturated.  Only edges that carried at least one
+        pebble appear.
+        """
+        return {
+            edge: pipe.injected
+            for edge, pipe in self._pipes.items()
+            if pipe.injected
+        }
+
 
 class LineFabric:
     """Pipelined fabric specialised to a linear-array host.
@@ -324,3 +337,16 @@ class LineFabric:
         return sum(p.injected for p in self._right) + sum(
             p.injected for p in self._left
         )
+
+    def per_link_injections(self) -> list[tuple[int, int, int]]:
+        """Lifetime injections per link: ``(link, rightward, leftward)``
+        for each link ``j`` (joining positions ``j`` and ``j+1``).
+
+        The per-link view of :attr:`total_injections`: a run's link
+        occupancy profile, e.g. to spot the saturated boundary links an
+        OVERLAP assignment concentrates traffic on.
+        """
+        return [
+            (j, self._right[j].injected, self._left[j].injected)
+            for j in range(len(self._right))
+        ]

@@ -13,6 +13,51 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def _extras_kind(value) -> str:
+    """Merge-kind of one extras value: ``number`` accumulates, ``dict``
+    merges recursively, ``list`` concatenates, anything else is an
+    opaque scalar (last-writer-wins among its own kind)."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, dict):
+        return "dict"
+    if isinstance(value, (list, tuple)):
+        return "list"
+    return type(value).__name__
+
+
+def _merge_extras(target: dict, source: dict, path: str) -> None:
+    """Merge ``source`` into ``target`` in place, by value kind.
+
+    Raises ``ValueError`` when the two sides hold different kinds under
+    the same key — a silent pick-one would lose data (the seed behaviour
+    this replaces dropped whichever side a numeric check rejected).
+    """
+    for key, value in source.items():
+        if key not in target:
+            target[key] = value
+            continue
+        current = target[key]
+        kind, other_kind = _extras_kind(current), _extras_kind(value)
+        if kind != other_kind:
+            raise ValueError(
+                f"cannot merge SimStats {path}[{key!r}]: "
+                f"{kind} vs {other_kind}"
+            )
+        if kind == "number":
+            target[key] = current + value
+        elif kind == "dict":
+            _merge_extras(current, value, path=f"{path}[{key!r}]")
+        elif kind == "list":
+            target[key] = list(current) + list(value)
+        else:
+            # Same-kind scalars (labels, bools, ...): last writer wins,
+            # matching the established behaviour for tags like "smoke".
+            target[key] = value
+
+
 @dataclass
 class SimStats:
     """Counters for one simulation run."""
@@ -81,20 +126,13 @@ class SimStats:
         self.recoveries += other.recoveries
         self.columns_lost += other.columns_lost
         self.crashed_nodes += other.crashed_nodes
-        # ``extras`` carries experiment-specific counters: numeric values
-        # accumulate like the built-in counters, anything else (labels,
-        # bools, nested structures) is last-writer-wins.
-        for key, value in other.extras.items():
-            current = self.extras.get(key)
-            if (
-                isinstance(value, (int, float))
-                and not isinstance(value, bool)
-                and isinstance(current, (int, float))
-                and not isinstance(current, bool)
-            ):
-                self.extras[key] = current + value
-            else:
-                self.extras[key] = value
+        # ``extras`` carries experiment-specific counters and structures.
+        # Merge by kind: numbers accumulate like the built-in counters,
+        # dicts merge recursively, lists concatenate, and scalars of any
+        # other same kind (labels, bools) are last-writer-wins.  A kind
+        # *conflict* (e.g. a count on one side, a label on the other)
+        # raises instead of silently dropping one side's data.
+        _merge_extras(self.extras, other.extras, path="extras")
 
     def as_dict(self) -> dict:
         """Plain-dict view for report tables."""

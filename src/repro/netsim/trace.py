@@ -114,6 +114,17 @@ class Trace:
             lines.append(f"t={t_lo:>6} |{cells}|")
         return "\n".join(lines)
 
+    def to_chrome_events(self, label: str = "run") -> list[dict]:
+        """This trace as Chrome ``trace_event`` dicts (one ``"X"`` per
+        pebble on its position's thread row, one instant per fault
+        mark), via :mod:`repro.telemetry.chrome`.  Wrap in
+        ``{"traceEvents": [...]}`` — or call
+        :func:`repro.telemetry.chrome.write_chrome_trace` — to get a
+        file Perfetto/``chrome://tracing`` loads directly."""
+        from repro.telemetry.chrome import chrome_events
+
+        return chrome_events(trace=self, label=label)
+
     def summary(self) -> dict:
         """Headline numbers for reports."""
         util = self.utilization()

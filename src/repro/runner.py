@@ -203,7 +203,12 @@ def _run_chunk(fn: Callable[[dict], object], payload: str) -> str:
     same way — a single pickled str each direction instead of one
     pickled dict per task, and the decode on the parent side doubles as
     the cache-equivalence JSON round-trip (:meth:`SweepRunner._normalise`).
+    The envelope also carries the worker's pid and the chunk's compute
+    wall time, which the parent feeds to an attached
+    :class:`~repro.telemetry.profile.SweepProfile` (two clock reads per
+    *chunk*, so the un-profiled path pays nothing measurable).
     """
+    t0 = time.perf_counter()
     out = []
     for cfg in json.loads(payload):
         result = fn(cfg)
@@ -212,8 +217,13 @@ def _run_chunk(fn: Callable[[dict], object], payload: str) -> str:
                 "sweep tasks must not return None (reserved for cache misses)"
             )
         out.append(result)
+    envelope = {
+        "results": out,
+        "pid": os.getpid(),
+        "wall": time.perf_counter() - t0,
+    }
     try:
-        return json.dumps(out)
+        return json.dumps(envelope)
     except (TypeError, ValueError) as exc:
         raise TypeError(
             f"sweep task returned a non-JSON-serialisable result: {exc}"
@@ -262,6 +272,12 @@ class SweepRunner:
         caching entirely).
     progress:
         Emit per-config progress/ETA lines to ``stream`` (stderr).
+    profile:
+        Attach a :class:`~repro.telemetry.profile.SweepProfile` that
+        accumulates wall-time attribution (per worker/chunk, cache-hit
+        vs recompute) across every :meth:`map` call this runner serves;
+        read it back from :attr:`profile`.  Off by default — the
+        un-profiled path takes no extra clock reads.
     """
 
     def __init__(
@@ -270,11 +286,18 @@ class SweepRunner:
         cache_dir: str | os.PathLike | None = None,
         progress: bool = False,
         stream=None,
+        profile: bool = False,
     ) -> None:
         self.workers = max(1, int(workers or 1))
         self.cache = SweepCache(cache_dir) if cache_dir else None
         self.progress = progress
         self.stream = stream if stream is not None else sys.stderr
+        if profile:
+            from repro.telemetry.profile import SweepProfile
+
+            self.profile: "SweepProfile | None" = SweepProfile()
+        else:
+            self.profile = None
         # Filled by the last map() call — cheap instrumentation for
         # benchmarks and tests.
         self.last_hits = 0
@@ -315,6 +338,8 @@ class SweepRunner:
             if self.progress and configs
             else None
         )
+        prof = self.profile
+        lookup_t0 = time.perf_counter() if prof is not None else 0.0
         for i, key in enumerate(keys):
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
@@ -324,15 +349,21 @@ class SweepRunner:
                     prog.step(cached=True)
             else:
                 pending.append(i)
+        lookup_s = (
+            time.perf_counter() - lookup_t0 if prof is not None else 0.0
+        )
 
         self.last_chunk_size = 0
         self.last_pool_reused = False
         if pending:
             if self.workers == 1 or len(pending) == 1:
+                inline_t0 = time.perf_counter() if prof is not None else 0.0
                 for i in pending:
                     results[i] = self._normalise(fn(configs[i]))
                     if prog:
                         prog.step()
+                if prof is not None:
+                    prof.record_inline(time.perf_counter() - inline_t0)
             else:
                 from concurrent.futures import FIRST_COMPLETED, wait
 
@@ -357,10 +388,17 @@ class SweepRunner:
                     for fut in finished:
                         # _run_chunk already JSON round-tripped the
                         # results, so the decode is the normalisation.
-                        for i, res in zip(futures[fut], json.loads(fut.result())):
+                        envelope = json.loads(fut.result())
+                        for i, res in zip(futures[fut], envelope["results"]):
                             results[i] = res
                             if prog:
                                 prog.step()
+                        if prof is not None:
+                            prof.record_chunk(
+                                envelope["pid"],
+                                len(futures[fut]),
+                                envelope["wall"],
+                            )
             if self.cache is not None:
                 for i in pending:
                     self.cache.put(keys[i], configs[i], results[i])
@@ -368,6 +406,15 @@ class SweepRunner:
         self.last_hits = hits
         self.last_misses = len(pending)
         self.last_elapsed = time.perf_counter() - t0
+        if prof is not None:
+            prof.record_cache(hits, len(pending), lookup_s)
+            prof.record_map(
+                len(configs),
+                self.last_elapsed,
+                self.workers,
+                self.last_chunk_size,
+                self.last_pool_reused,
+            )
         return results
 
     @staticmethod

@@ -1,0 +1,120 @@
+"""Span tracing: named intervals over simulated or wall-clock time.
+
+A :class:`Span` is a ``(name, start, end, track, args)`` interval; a
+:class:`SpanLog` collects them.  Two usage modes:
+
+* **simulated time** — the executors call :meth:`SpanLog.begin` /
+  :meth:`SpanLog.end` with explicit step timestamps (``epoch`` and
+  ``recovery`` spans around fault restarts, one ``run`` span per
+  execution);
+* **wall-clock time** — the ``with log.span("chunk", worker=3):``
+  context manager stamps ``time.perf_counter()`` seconds, used by the
+  sweep profiler.
+
+Spans nest: :meth:`end` closes the innermost open span.  A log is
+exportable to Chrome ``trace_event`` JSON via
+:mod:`repro.telemetry.chrome`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One named interval; ``end`` is ``None`` while still open."""
+
+    name: str
+    start: float
+    end: float | None = None
+    track: str = "run"
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length (0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class SpanLog:
+    """Ordered collection of (possibly nested) spans.
+
+    ``clock`` supplies timestamps for the context-manager form; it
+    defaults to :func:`time.perf_counter` (wall seconds).  The explicit
+    :meth:`begin`/:meth:`end` form takes timestamps directly and is what
+    the executors use with simulated step counts.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.clock = clock or time.perf_counter
+        self.spans: list[Span] = []
+        self._open: list[Span] = []
+
+    def begin(self, name: str, t: float | None = None, track: str = "run", **args) -> Span:
+        """Open a span at time ``t`` (default: ``clock()``)."""
+        span = Span(name, self.clock() if t is None else t, track=track, args=args)
+        self.spans.append(span)
+        self._open.append(span)
+        return span
+
+    def end(self, t: float | None = None) -> Span:
+        """Close the innermost open span at time ``t``; returns it.
+
+        ``t`` is clamped to the span's start: a span aborted before the
+        time it was scheduled to begin (an epoch cancelled by a crash
+        inside the restart window) closes with zero duration, never a
+        negative one (trace viewers require ``dur >= 0``).
+        """
+        if not self._open:
+            raise ValueError("SpanLog.end() with no open span")
+        span = self._open.pop()
+        end = self.clock() if t is None else t
+        span.end = end if end >= span.start else span.start
+        return span
+
+    def close_all(self, t: float | None = None) -> None:
+        """Close every still-open span (end-of-run tidy-up)."""
+        while self._open:
+            self.end(t)
+
+    @contextmanager
+    def span(self, name: str, track: str = "run", **args):
+        """``with log.span("phase"): ...`` — clock-stamped span."""
+        s = self.begin(name, track=track, **args)
+        try:
+            yield s
+        finally:
+            if s.end is None:
+                # Close *this* span even if a nested one leaked open.
+                while self._open and self._open[-1] is not s:
+                    self.end()
+                if self._open and self._open[-1] is s:
+                    self.end()
+
+    def named(self, name: str) -> list[Span]:
+        """All spans called ``name``, in begin order."""
+        return [s for s in self.spans if s.name == name]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    def as_dicts(self) -> list[dict]:
+        """Plain-dict view (JSON-ready)."""
+        return [
+            {
+                "name": s.name,
+                "start": s.start,
+                "end": s.end,
+                "track": s.track,
+                "args": dict(s.args),
+            }
+            for s in self.spans
+        ]

@@ -230,3 +230,23 @@ class TestFaultAwareRouting:
 
         assert tables.link_outcome(1, 1, 0) is LOST  # drop still armed
         assert tables.link_outcome(1, 1, 0) == 0  # ... and one-shot
+
+
+class TestPerLinkInjections:
+    def test_line_fabric_per_link_sums_to_total(self):
+        f = LineFabric([2, 3], bandwidth=1)
+        f.hop(0, +1, 0)
+        f.hop(0, +1, 0)  # contends for the same rightward pipe
+        f.hop(1, -1, 0)  # leftward over link 0
+        f.hop(1, +1, 0)  # rightward over link 1
+        per = f.per_link_injections()
+        assert per == [(0, 2, 1), (1, 1, 0)]
+        assert sum(r + l for _j, r, l in per) == f.total_injections == 4
+
+    def test_fabric_per_edge_only_lists_used_edges(self):
+        f = Fabric(path_graph([1, 1]))
+        f.hop(0, 1, 0)
+        f.hop(0, 1, 0)
+        per = f.per_edge_injections()
+        assert per == {(0, 1): 2}
+        assert sum(per.values()) == f.total_injections

@@ -47,6 +47,44 @@ def test_merge_extras_numeric_adds_rest_overwrites():
     assert a.extras["flag"] is False  # bools are not numeric
 
 
+def test_merge_extras_dicts_merge_recursively():
+    # Regression: the seed merge silently dropped non-numeric extras;
+    # structured extras must now merge by kind instead of vanishing.
+    a = SimStats()
+    a.extras["per_phase"] = {"warm": 2, "detail": {"retries": 1}}
+    b = SimStats()
+    b.extras["per_phase"] = {"warm": 3, "cool": 1, "detail": {"retries": 4}}
+    a.merge(b)
+    assert a.extras["per_phase"] == {"warm": 5, "cool": 1, "detail": {"retries": 5}}
+
+
+def test_merge_extras_lists_concatenate():
+    a = SimStats()
+    a.extras["marks"] = [1, 2]
+    b = SimStats()
+    b.extras["marks"] = (3,)  # tuples count as lists
+    a.merge(b)
+    assert a.extras["marks"] == [1, 2, 3]
+
+
+def test_merge_extras_kind_conflict_raises():
+    a = SimStats()
+    a.extras["retries"] = 3
+    b = SimStats()
+    b.extras["retries"] = "three"
+    with pytest.raises(ValueError, match=r"extras\['retries'\]"):
+        a.merge(b)
+
+
+def test_merge_extras_nested_conflict_names_path():
+    a = SimStats()
+    a.extras["opts"] = {"grid": [1]}
+    b = SimStats()
+    b.extras["opts"] = {"grid": {"n": 1}}
+    with pytest.raises(ValueError, match=r"extras\['opts'\]\['grid'\]"):
+        a.merge(b)
+
+
 def test_merge_extras_survive_roundtrip():
     a = SimStats()
     b = SimStats()
