@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Per-topology dense-vs-greedy engine benchmark.
+
+The dense tier started as a line-host fast path; it now also covers
+ring guests (arbitrary ``dep_map`` wiring through the watermark
+skeleton) and graph hosts (the Fact-3 embedding precomputes every
+route delay into the induced array's flat ``link_delays``).  This
+script measures each topology separately so a regression in one
+coverage class cannot hide behind another:
+
+* **line** — an OVERLAP block assignment on a random-delay array
+  (the original fast path, plus the vectorised ready-scan);
+* **ring** — the folded ring ``dep_map``/``col_label`` reduction of
+  :mod:`repro.core.ring` on the same class of array host;
+* **graph** — a mesh host reduced to an array by
+  :func:`repro.topology.embedding.embed_linear_array`.
+
+Setup (host, killing, assignment, dep_map, embedding) is built once
+outside the timers; each timed pass constructs and runs one executor,
+so the ratio isolates the engines themselves.  Wall times are the
+median of three passes after a warm-up.  Both tiers are bit-identical
+(tests/test_dense.py); this records what the dense tier buys.
+
+Results go to ``BENCH_dense.json`` (``--out`` to override)::
+
+    PYTHONPATH=src python benchmarks/bench_dense.py --smoke
+
+``--smoke`` shrinks the workloads for CI and stamps ``"smoke": true``
+into every section; ``scripts/bench_compare.py`` relaxes the line-
+section ratio gate on smoke records (small workloads blunt the
+vectorisation advantage) but keeps the >= 3x floor everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np
+
+from repro.core.assignment import assign_databases
+from repro.core.baselines import spread_assignment
+from repro.core.dense import DenseExecutor
+from repro.core.executor import GreedyExecutor
+from repro.core.killing import kill_and_label
+from repro.core.ring import ring_dep_map
+from repro.machine.host import HostArray
+from repro.machine.programs import get_program
+from repro.topology.delays import scale_to_average, uniform_delays
+from repro.topology.embedding import embed_linear_array
+from repro.topology.generators import mesh_host
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _bench_host(n: int, d_target: float, seed: int) -> HostArray:
+    rng = np.random.default_rng(seed)
+    return HostArray(scale_to_average(uniform_delays(n - 1, rng, 1, 8), d_target))
+
+
+def _time_engines(
+    host: HostArray,
+    assignment,
+    steps: int,
+    repeats: int,
+    smoke: bool,
+    **kwargs,
+) -> dict:
+    """Median-of-``repeats`` wall time for each engine on one workload."""
+    program = get_program("counter")
+    out: dict = {"n": host.n, "m": assignment.m, "steps": steps}
+    for name, cls in (("greedy", GreedyExecutor), ("dense", DenseExecutor)):
+        cls(host, assignment, program, steps, **kwargs).run()  # warm-up
+        walls = []
+        pebbles = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = cls(host, assignment, program, steps, **kwargs).run()
+            walls.append(time.perf_counter() - t0)
+            pebbles = res.stats.pebbles
+        wall = statistics.median(walls)
+        out[name] = {
+            "pebbles": pebbles,
+            "median_wall_s": round(wall, 4),
+            "steps_per_sec": round(pebbles / wall, 1),
+        }
+    out["dense_over_greedy"] = round(
+        out["dense"]["steps_per_sec"] / out["greedy"]["steps_per_sec"], 2
+    )
+    out["smoke"] = smoke
+    return out
+
+
+def bench_line(n: int, steps: int, repeats: int = 3, smoke: bool = False) -> dict:
+    """The original fast path: OVERLAP block assignment on an array."""
+    host = _bench_host(n, 8, seed=0)
+    assignment = assign_databases(kill_and_label(host), block=2)
+    return _time_engines(host, assignment, steps, repeats, smoke)
+
+
+def bench_ring(n: int, steps: int, repeats: int = 3, smoke: bool = False) -> dict:
+    """The folded-ring reduction: dep_map wiring, relabelled columns."""
+    host = _bench_host(n, 8, seed=1)
+    m = host.n
+    dep_map, node_of_col = ring_dep_map(m)
+    label = lambda col: node_of_col[col] + 1  # noqa: E731 - tiny adapter
+    assignment = spread_assignment(host.n, m)
+    return _time_engines(
+        host, assignment, steps, repeats, smoke,
+        dep_map=dep_map, col_label=label,
+    )
+
+
+def bench_graph(
+    rows: int, cols: int, steps: int, repeats: int = 3, smoke: bool = False
+) -> dict:
+    """A mesh host reduced to an array by the Fact-3 embedding."""
+    rng = np.random.default_rng(2)
+    n_links = 2 * rows * cols - rows - cols
+    host = mesh_host(rows, cols, uniform_delays(n_links, rng, 1, 6))
+    array = embed_linear_array(host).host_array(name=f"embed({host.name})")
+    assignment = assign_databases(kill_and_label(array), block=2)
+    out = _time_engines(array, assignment, steps, repeats, smoke)
+    out["host"] = host.name
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small CI-sized workloads")
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_dense.json"),
+        help="output JSON path (default: repo-root BENCH_dense.json)",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    if args.smoke:
+        line_cfg = {"n": 96, "steps": 12}
+        ring_cfg = {"n": 96, "steps": 12}
+        graph_cfg = {"rows": 6, "cols": 6, "steps": 8}
+    else:
+        line_cfg = {"n": 192, "steps": 24}
+        ring_cfg = {"n": 192, "steps": 24}
+        graph_cfg = {"rows": 10, "cols": 10, "steps": 12}
+
+    print(f"[bench_dense] cpus={cpus} smoke={args.smoke}")
+    sections: dict = {}
+    for name, fn, cfg in (
+        ("line", bench_line, line_cfg),
+        ("ring", bench_ring, ring_cfg),
+        ("graph", bench_graph, graph_cfg),
+    ):
+        rec = fn(smoke=args.smoke, **cfg)
+        sections[name] = rec
+        print(
+            f"[bench_dense] {name}: greedy {rec['greedy']['steps_per_sec']:,} "
+            f"vs dense {rec['dense']['steps_per_sec']:,} steps/sec "
+            f"-> dense {rec['dense_over_greedy']}x faster"
+        )
+
+    payload = {
+        "bench": "dense",
+        "smoke": args.smoke,
+        "cpus": cpus,
+        "python": sys.version.split()[0],
+        "sections": sections,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_dense] wrote {out}")
+
+    failed = False
+    for name, rec in sections.items():
+        if rec["dense_over_greedy"] < 3.0:
+            print(
+                f"[bench_dense] FAIL: {name} section only "
+                f"{rec['dense_over_greedy']}x greedy (< 3x)",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""PR-acceptance gate over ``BENCH_sweep.json``.
+"""PR-acceptance gate over ``BENCH_sweep.json`` and ``BENCH_dense.json``.
 
-Run after ``benchmarks/bench_sweep.py`` (CI does; see the
-``bench-smoke`` job).  Checks, in order:
+Run after ``benchmarks/bench_sweep.py`` and ``benchmarks/bench_dense.py``
+(CI does; see the ``bench-smoke`` job).  Checks, in order:
 
 1. **sweep speedup** — with >= 4 workers on a >= 4-CPU machine, the
    parallel sweep must not be slower than serial (``speedup >= 1.0``;
-   the parallel-regression gate).  Skipped honestly on smaller
-   machines, where compute-bound parallelism cannot win.
+   the parallel-regression gate).  Skipped honestly on smaller or
+   oversubscribed machines (the sweep section arrives smoke-tagged
+   when ``cpus < workers``), where compute-bound parallelism cannot
+   win.
 2. **engine ratio** — the dense fault-free tier must be >= 3x the
    greedy engine (``engines.dense_over_greedy``).  A single-core
    property, so it applies on every machine, smoke or not.
@@ -16,7 +18,12 @@ Run after ``benchmarks/bench_sweep.py`` (CI does; see the
    ``"smoke": true`` come from CI-sized grids whose absolute numbers
    are meaningless, and are ignored rather than misread as
    regressions.
-4. **differential tests** — the dense-vs-greedy bit-identical suite
+4. **per-topology engine ratios** — ``BENCH_dense.json`` must show
+   the dense tier >= 3x greedy on the *ring* and *graph* sections,
+   and the *line* section must not regress below 10% under its
+   recorded 6.96x (>= 6.26x; relaxed to the 3x floor on smoke
+   records, whose small workloads blunt the vectorisation win).
+5. **differential tests** — the dense-vs-greedy bit-identical suite
    (``tests/test_dense.py``) must run with zero skips; a skipped
    differential test would let the fast path drift from the reference
    silently.  ``--no-tests`` omits this (e.g. when pytest is absent).
@@ -40,6 +47,9 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 # hot-path regressions, not machine-to-machine noise.
 MIN_STEPS_PER_SEC = 20_000.0
 MIN_DENSE_OVER_GREEDY = 3.0
+# Line-section regression floor: the recorded full-workload ratio is
+# 6.96x (BENCH_dense.json); allow 10% machine-to-machine noise.
+MIN_LINE_OVER_GREEDY = 6.26
 
 
 def _fail(msg: str) -> bool:
@@ -52,7 +62,12 @@ def check_sweep(payload: dict) -> bool:
     cpus = payload.get("cpus", 1)
     workers = sweep.get("workers", 0)
     speedup = sweep.get("speedup")
-    if cpus >= 4 and workers >= 4:
+    if sweep.get("smoke"):
+        print(
+            f"[bench_compare] sweep section smoke-tagged "
+            f"(cpus={cpus}, workers={workers}) — speedup gate skipped"
+        )
+    elif cpus >= 4 and workers >= 4:
         if speedup is None or speedup < 1.0:
             return _fail(
                 f"sweep speedup {speedup}x < 1.0x at {workers} workers on a "
@@ -80,6 +95,30 @@ def check_engines(payload: dict) -> bool:
         )
     print(f"[bench_compare] dense {ratio}x greedy: ok")
     return False
+
+
+def check_dense(payload: dict) -> bool:
+    """Per-topology engine-ratio gates over ``BENCH_dense.json``."""
+    sections = payload.get("sections")
+    if not sections:
+        return _fail("BENCH_dense.json has no 'sections' — nothing measured")
+    failed = False
+    for name in ("line", "ring", "graph"):
+        rec = sections.get(name)
+        if not rec:
+            failed = _fail(f"BENCH_dense.json missing the '{name}' section")
+            continue
+        ratio = rec.get("dense_over_greedy")
+        floor = MIN_DENSE_OVER_GREEDY
+        if name == "line" and not rec.get("smoke"):
+            floor = MIN_LINE_OVER_GREEDY
+        if ratio is None or ratio < floor:
+            failed = _fail(
+                f"dense/{name}: only {ratio}x greedy (< {floor}x)"
+            )
+        else:
+            print(f"[bench_compare] dense/{name}: {ratio}x greedy: ok")
+    return failed
 
 
 def check_throughput(payload: dict) -> bool:
@@ -145,6 +184,11 @@ def main(argv: list[str] | None = None) -> int:
         help="path to BENCH_sweep.json (default: repo root)",
     )
     parser.add_argument(
+        "--dense",
+        default=str(REPO_ROOT / "BENCH_dense.json"),
+        help="path to BENCH_dense.json (default: repo root)",
+    )
+    parser.add_argument(
         "--no-tests",
         action="store_true",
         help="skip running the differential test suite",
@@ -163,6 +207,13 @@ def main(argv: list[str] | None = None) -> int:
     failed |= check_sweep(payload)
     failed |= check_engines(payload)
     failed |= check_throughput(payload)
+    dense_path = pathlib.Path(args.dense)
+    if not dense_path.exists():
+        failed |= _fail(
+            f"{dense_path} not found — run benchmarks/bench_dense.py first"
+        )
+    else:
+        failed |= check_dense(json.loads(dense_path.read_text()))
     if not args.no_tests:
         failed |= check_differential_tests()
 

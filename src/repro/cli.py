@@ -126,6 +126,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not isinstance(host, HostArray):
         print(f"preset {args.preset!r} is a graph host; trace needs an array", file=sys.stderr)
         return 2
+    if args.engine == "dense":
+        print(
+            "trace always runs on the greedy tier: the space-time diagram "
+            "and --trace-out need per-event trace hooks the dense engine "
+            "does not record.  Use --engine auto/greedy here, or "
+            "`repro run --engine dense --telemetry` for dense-tier "
+            "telemetry without a trace.",
+            file=sys.stderr,
+        )
+        return 2
     faults = None
     min_copies = 1
     if args.faults is not None:
@@ -304,10 +314,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-node crash rate of the random plan (with --faults)",
     )
     p_trace.add_argument(
+        "--engine",
+        choices=("auto", "dense", "greedy"),
+        default="auto",
+        help="execution tier; trace always resolves to greedy because the "
+        "space-time diagram and --trace-out rely on per-event trace hooks "
+        "(greedy-only).  --telemetry works on both tiers in general, but "
+        "under `repro trace` it rides the greedy run; use "
+        "`repro run --engine dense --telemetry` for dense-tier telemetry",
+    )
+    p_trace.add_argument(
         "--telemetry",
         action="store_true",
         help="collect a per-step MetricsTimeline and print its summary "
-        "plus an ASCII activity timeline",
+        "plus an ASCII activity timeline (works on both engine tiers; "
+        "here it attaches to the greedy trace run)",
     )
     p_trace.add_argument(
         "--trace-out",

@@ -23,7 +23,8 @@ import math
 from dataclasses import dataclass
 
 from repro.core.assignment import Assignment, assign_databases
-from repro.core.executor import ExecResult, GreedyExecutor
+from repro.core.dense import DenseExecutor, build_executor
+from repro.core.executor import ExecResult
 from repro.core.killing import KillingResult, kill_and_label
 from repro.core.verify import verify_execution
 from repro.machine.guest import GuestArray
@@ -73,6 +74,8 @@ class ComposedResult:
     q: int
     verified: bool
     embedding: ArrayEmbedding | None = None
+    #: Execution tier that ran ("dense" or "greedy").
+    engine: str = "greedy"
 
     @property
     def slowdown(self) -> float:
@@ -114,9 +117,18 @@ def simulate_composed(
     h0_block: int = 1,
     bandwidth: int | None = None,
     verify: bool = True,
+    engine: str = "auto",
+    telemetry=None,
 ) -> ComposedResult:
     """Theorem 5 on a host array: guest of ``~ n' h0_block q`` columns,
-    slowdown ``O(sqrt(d_ave) * polylog)``."""
+    slowdown ``O(sqrt(d_ave) * polylog)``.
+
+    ``engine`` selects the execution tier (``auto``/``dense``/
+    ``greedy``); the composed assignment is a plain fault-free array
+    run, so ``auto`` takes the dense fast path — bit-identical to
+    greedy.  ``telemetry`` attaches a
+    :class:`~repro.telemetry.timeline.MetricsTimeline` (both tiers).
+    """
     program = program or CounterProgram()
     killing = kill_and_label(host, c)
     if q is None:
@@ -124,14 +136,19 @@ def simulate_composed(
     assignment = composed_assignment(killing, q, h0_block)
     if steps is None:
         steps = max(4, 2 * q)
-    exec_result = GreedyExecutor(host, assignment, program, steps, bandwidth).run()
+    executor = build_executor(
+        engine, host, assignment, program, steps, bandwidth, telemetry=telemetry
+    )
+    resolved = "dense" if isinstance(executor, DenseExecutor) else "greedy"
+    exec_result = executor.run()
     verified = False
     if verify:
         reference = GuestArray(assignment.m, program).run_reference(steps)
         verify_execution(exec_result, reference, program)
         verified = True
     return ComposedResult(
-        host, killing, assignment, exec_result, steps, q, verified
+        host, killing, assignment, exec_result, steps, q, verified,
+        engine=resolved,
     )
 
 
@@ -144,13 +161,22 @@ def simulate_composed_on_graph(
     h0_block: int = 1,
     bandwidth: int | None = None,
     verify: bool = True,
+    engine: str = "auto",
+    telemetry=None,
 ) -> ComposedResult:
     """Theorem 6: the composed simulation on an arbitrary connected
-    host, reduced to an array by the Fact-3 embedding."""
+    host, reduced to an array by the Fact-3 embedding.
+
+    The embedding precomputes every per-assignment route delay into the
+    flat ``link_delays`` array of the induced
+    :class:`~repro.machine.host.HostArray`, so the fault-free composed
+    run executes on the dense tier exactly like a native array host.
+    """
     embedding = embed_linear_array(host)
     array = embedding.host_array(name=f"embed({host.name})")
     result = simulate_composed(
-        array, program, steps, c, q, h0_block, bandwidth, verify
+        array, program, steps, c, q, h0_block, bandwidth, verify,
+        engine=engine, telemetry=telemetry,
     )
     result.embedding = embedding
     return result

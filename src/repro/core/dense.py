@@ -19,27 +19,45 @@ is a pure function of ``(host, assignment, steps, bandwidth)``:
   time-indexed bucket list replayed in append order reproduces the
   heap's ``(time, seq)`` order exactly — O(1) per event, no tuple
   comparisons, no ``Event`` allocation.
+* **array-shaped per-processor state.**  Each position keeps one flat
+  *watermark array* ``W``: its own columns' completed rows first, then
+  one slot per subscribed external column, then a virtual slot pinned
+  to ``T`` for the array boundaries.  Column ``i``'s two lateral
+  sources are precomputed indices ``sl[i]``/``sr[i]`` into ``W`` — the
+  line adjacency and a relabelled-guest ``dep_map`` (rings) become the
+  *same* ready check, ``W[sl[i]] >= W[i] <= W[sr[i]]``.  Wide positions
+  (``k >= _VEC_MIN_COLS`` own columns) scan for the greedy pick with
+  one vectorised numpy pass instead of a Python loop; ``argmin`` over
+  the masked watermarks reproduces the scalar ``(t, column)``
+  tie-breaking exactly.
 * **flat link state.**  Each directed link is three integers (current
   slot, pebbles in that slot, injection count) in preallocated lists —
   the :class:`~repro.netsim.links.LinkPipe` slot rule inlined — and
-  per-processor state is flat lists indexed by position.
+  whole-stream sends to ``>= _VEC_MIN_SUBS`` subscribers assign their
+  link slots in closed form (injection ``j`` lands in slot
+  ``slot0 + (used0 + j) // bw``) instead of iterating the slot rule.
 
 Because the skeleton replays the exact event order, the result is
 **bit-identical** to the greedy engine: same makespan, same per-replica
 pebble counts, same message/pebble-hop counters, same value digests and
 database replicas.  ``tests/test_dense.py`` asserts this differentially
-over the e1/e3/e5 parameter grids.
+over the e1/e3/e5 parameter grids, over ring guests (``dep_map`` /
+``col_label`` from :mod:`repro.core.ring`) and over graph hosts run
+through the Fact-3 embedding (whose per-assignment route delays are
+exactly the flat ``link_delays`` array of the embedded
+:class:`~repro.machine.host.HostArray` — so a fault-free
+``simulate_overlap_on_graph`` runs dense end to end).
 
-The tier only covers the plain fault-free executor: faults, recovery
-policies, forced-dead reconfiguration, tracing, multicast streams,
-scheduling jitter (``tie_seed``) and relabelled guests (``dep_map`` /
-``col_label``, i.e. rings) all take the greedy engine.
-:func:`resolve_engine` encodes that selection rule for the
-``engine="auto"`` front-ends.  Telemetry is the one observability
-feature both tiers support: an attached
-:class:`~repro.telemetry.timeline.MetricsTimeline` is fed from the
-retained event buckets *after* the timed loop, so it never forces the
-greedy fallback and never perturbs dense timing.
+The tier covers every fault-free topology: plain line arrays, ring
+guests (relabelled via ``dep_map``/``col_label``), and graph hosts
+after embedding.  Faults, recovery policies, forced-dead
+reconfiguration, tracing, multicast streams and scheduling jitter
+(``tie_seed``) still take the greedy engine; :func:`resolve_engine`
+encodes that selection rule for the ``engine="auto"`` front-ends.
+Telemetry is the one observability feature both tiers support: an
+attached :class:`~repro.telemetry.timeline.MetricsTimeline` is fed from
+the retained event buckets *after* the timed loop, so it never forces
+the greedy fallback and never perturbs dense timing.
 """
 
 from __future__ import annotations
@@ -59,6 +77,14 @@ ENGINES = ("auto", "dense", "greedy")
 
 _FOLD_SEED = 0x243F6A8885A308D3  # fold_s seed (see repro.machine.mixing)
 
+#: Own-column count above which the ready scan switches to the numpy
+#: path (one vectorised pass over the watermark array).  Below it the
+#: scalar loop wins on constant factors.
+_VEC_MIN_COLS = 32
+#: Whole-stream subscriber count above which link slots are assigned in
+#: closed form (numpy) instead of iterating the slot rule.
+_VEC_MIN_SUBS = 16
+
 # Bucket-event kinds.
 _DONE = 0
 _MSG = 1
@@ -73,7 +99,6 @@ def resolve_engine(
     trace=None,
     multicast: bool = False,
     tie_seed=None,
-    dep_map=None,
 ) -> str:
     """Pick the execution tier for one simulation.
 
@@ -81,6 +106,10 @@ def resolve_engine(
     greedy-only machinery; explicitly asking for ``dense`` with an
     incompatible feature is an error (the caller asked for something
     the dense tier cannot honour), while ``auto`` falls back silently.
+
+    Relabelled guests (``dep_map``/``col_label``, i.e. rings) are *not*
+    a fallback reason: the dense skeleton resolves arbitrary dependency
+    maps through the same watermark indices as the line adjacency.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -99,8 +128,6 @@ def resolve_engine(
         reasons.append("multicast streams")
     if tie_seed is not None:
         reasons.append("scheduling jitter")
-    if dep_map is not None:
-        reasons.append("a custom dependency map")
     if not reasons:
         return "dense"
     if engine == "dense":
@@ -115,7 +142,8 @@ class DenseExecutor:
     """Fault-free fast-path executor (see module docstring).
 
     Construction mirrors :class:`~repro.core.executor.GreedyExecutor`
-    for the supported subset; :meth:`run` returns the same
+    for the supported subset — including ``dep_map``/``col_label``
+    relabelled guests — and :meth:`run` returns the same
     :class:`~repro.core.executor.ExecResult`.
     """
 
@@ -129,6 +157,10 @@ class DenseExecutor:
         "used",
         "subscribers",
         "telemetry",
+        "dep_map",
+        "col_label",
+        "_relabelled",
+        "_ext_cols",
     )
 
     def __init__(
@@ -138,6 +170,8 @@ class DenseExecutor:
         program: Program,
         steps: int,
         bandwidth: int | None = None,
+        dep_map: dict[int, tuple[int, int]] | None = None,
+        col_label=None,
         telemetry=None,
     ) -> None:
         if assignment.n != host.n:
@@ -157,12 +191,30 @@ class DenseExecutor:
         )
         self.m = assignment.m
         self.used = assignment.used_positions()
+        self.dep_map = dep_map
+        self.col_label = col_label or (lambda c: c)
+        self._relabelled = dep_map is not None or col_label is not None
+        if dep_map is not None:
+            for c in range(1, self.m + 1):
+                if c not in dep_map:
+                    raise ValueError(f"dep_map missing column {c}")
+                for src in dep_map[c]:
+                    if not 1 <= src <= self.m:
+                        raise ValueError(
+                            f"dep_map[{c}] source {src} outside 1..{self.m}"
+                        )
         # Optional MetricsTimeline.  The dense loop never checks it: the
         # bucket lists *are* the full event history (append-only), so an
         # attached timeline is fed by a post-pass over them after the
         # timed simulation — zero overhead inside the loop either way.
         self.telemetry = telemetry
         self._build_subscriptions()
+
+    def _deps(self, c: int) -> tuple[int, int]:
+        """Lateral source columns of ``c`` (left-like, right-like)."""
+        if self.dep_map is None:
+            return (c - 1, c + 1)
+        return self.dep_map[c]
 
     def _build_subscriptions(self) -> None:
         """Same nearest-owner subscription rule (and list order) as
@@ -171,9 +223,18 @@ class DenseExecutor:
         host = self.host
         owners = self.assignment.owners()
         subscribers: dict[tuple[int, int], list[int]] = {}
+        ext_cols: dict[int, list[int]] = {}
         for p in self.used:
             lo, hi = self.assignment.ranges[p]
-            needed = [c for c in (lo - 1, hi + 1) if 1 <= c <= m]
+            needed = sorted(
+                {
+                    src
+                    for c in range(lo, hi + 1)
+                    for src in self._deps(c)
+                    if 1 <= src <= m and not (lo <= src <= hi)
+                }
+            )
+            ext_cols[p] = needed
             for c in needed:
                 candidates = owners[c]
                 q = min(
@@ -182,6 +243,7 @@ class DenseExecutor:
                 )
                 subscribers.setdefault((q, c), []).append(p)
         self.subscribers = subscribers
+        self._ext_cols = ext_cols
 
     # -- values (computed once, vectorised) -----------------------------
     def _guest_values(self):
@@ -193,6 +255,8 @@ class DenseExecutor:
         :mod:`repro.core.verify` checks), so one reference-style pass
         serves all replicas.
         """
+        if self._relabelled:
+            return self._guest_values_relabelled()
         m, T, prog = self.m, self.T, self.program
         guest = GuestArray(m, prog)
         if prog.supports_vector:
@@ -220,9 +284,63 @@ class DenseExecutor:
                 [int(d) for d in db_digests],
                 [int(s) for s in np.asarray(states, dtype=np.uint64)],
             )
-        # Scalar fallback (structured database state): one direct guest
-        # execution — still one compute per pebble total, instead of one
-        # per *replica* pebble.
+        return self._guest_values_scalar()
+
+    def _guest_values_relabelled(self):
+        """The relabelled-guest (``dep_map``/``col_label``) value pass.
+
+        Column ``c`` runs program identity ``col_label(c)`` and reads
+        its lateral sources through ``dep_map`` — ring simulations wire
+        fold-embedded neighbours this way.  No program's ``compute``
+        depends on the column index except through its per-column
+        initial state, so the recurrence vectorises with fancy-indexed
+        gathers and label-permuted initial states whenever the labels
+        stay inside ``1..m`` (rings: a permutation).
+        """
+        m, T, prog = self.m, self.T, self.program
+        label = self.col_label
+        labels = [label(c) for c in range(1, m + 1)]
+        dep_map = self.dep_map
+        if (
+            prog.supports_vector
+            and dep_map is not None
+            and all(1 <= lb <= m for lb in labels)
+        ):
+            from repro.machine.guest import _DB_SEED
+            from repro.machine.pebbles import initial_value
+
+            lab_idx = np.array(labels, dtype=np.intp) - 1
+            lab_u = np.array(labels, dtype=np.uint64)
+            dep_l = np.array(
+                [dep_map[c][0] - 1 for c in range(1, m + 1)], dtype=np.intp
+            )
+            dep_r = np.array(
+                [dep_map[c][1] - 1 for c in range(1, m + 1)], dtype=np.intp
+            )
+            states = prog.init_state_vec(m)[lab_idx]
+            db_digests = mix2_v(np.uint64(_DB_SEED), lab_u)
+            folds = np.full(m, np.uint64(_FOLD_SEED), dtype=np.uint64)
+            prev = np.array([initial_value(lb) for lb in labels], dtype=np.uint64)
+            for t in range(1, T + 1):
+                values, updates = prog.compute_row_vec(
+                    t, states, prev[dep_l], prev, prev[dep_r]
+                )
+                states = prog.apply_vec(states, updates)
+                db_digests = mix2_v(db_digests, updates)
+                folds = mix2_v(folds, values)
+                prev = values
+            return (
+                [int(v) for v in folds],
+                [int(d) for d in db_digests],
+                [int(s) for s in np.asarray(states, dtype=np.uint64)],
+            )
+        return self._guest_values_scalar()
+
+    def _guest_values_scalar(self):
+        """Scalar fallback (structured database state or labels outside
+        ``1..m``): one direct guest execution — still one compute per
+        pebble total, instead of one per *replica* pebble."""
+        m, T, prog = self.m, self.T, self.program
         from repro.machine.mixing import mix2_s
         from repro.machine.pebbles import (
             BOUNDARY_LEFT,
@@ -231,8 +349,11 @@ class DenseExecutor:
             initial_value,
         )
 
-        dbs = [Database(i, prog.init_state(i)) for i in range(1, m + 1)]
-        row = [initial_value(i) for i in range(1, m + 1)]
+        label = self.col_label
+        labels = [label(c) for c in range(1, m + 1)]
+        deps = self._deps
+        dbs = [Database(lb, prog.init_state(lb)) for lb in labels]
+        row = [initial_value(lb) for lb in labels]
         folds = [_FOLD_SEED] * m
         for t in range(1, T + 1):
             left_b = boundary_value(BOUNDARY_LEFT, t - 1)
@@ -240,10 +361,15 @@ class DenseExecutor:
             new_row = [0] * m
             pending = [0] * m
             for i in range(m):
-                left = row[i - 1] if i > 0 else left_b
-                right = row[i + 1] if i < m - 1 else right_b
+                src_l, src_r = deps(i + 1)
+                left = row[src_l - 1] if 1 <= src_l <= m else (
+                    left_b if src_l < 1 else right_b
+                )
+                right = row[src_r - 1] if 1 <= src_r <= m else (
+                    left_b if src_r < 1 else right_b
+                )
                 value, update = prog.compute(
-                    i + 1, t, dbs[i].state, left, row[i], right
+                    labels[i], t, dbs[i].state, left, row[i], right
                 )
                 new_row[i] = value
                 pending[i] = update
@@ -269,27 +395,58 @@ class DenseExecutor:
         n = self.host.n
         bw = self.bandwidth
         delays = self.host.link_delays
+        dep_map = self.dep_map
 
-        # Per-position state (flat lists; unused positions stay None/0).
+        # Per-position watermark arrays.  W_of[p] lays out: the k own
+        # columns' completed rows, then one watermark per subscribed
+        # external column (sorted), then a virtual slot pinned to T for
+        # the array boundaries.  sl_of/sr_of[p][i] index the two lateral
+        # sources of own column i into that same array, so line
+        # adjacency and dep_map wiring share one ready check.
+        line = dep_map is None
         lo_of = [0] * n
-        hi_of = [0] * n
-        done: list[list[int] | None] = [None] * n
+        k_of = [0] * n
+        W_of: list = [None] * n
+        sl_of: list = [None] * n
+        sr_of: list = [None] * n
+        # Line fast path: watermark indices of the left/right external
+        # columns (or the virtual slot), so edge columns skip the
+        # per-column source tables entirely.
+        el_of = [0] * n
+        er_of = [0] * n
+        ext_idx: list = [None] * n
+        vec = [False] * n
         busy = [False] * n
-        # External-column watermarks: T means "virtual boundary, always
-        # satisfied"; real external columns start at watermark 0.
-        ext_l = [T] * n
-        ext_r = [T] * n
         remaining = 0
         for p in self.used:
             lo, hi = self.assignment.ranges[p]
+            k = hi - lo + 1
             lo_of[p] = lo
-            hi_of[p] = hi
-            done[p] = [0] * (hi - lo + 1)
-            remaining += (hi - lo + 1) * T
-            if lo > 1:
-                ext_l[p] = 0
-            if hi < m:
-                ext_r[p] = 0
+            k_of[p] = k
+            ecols = self._ext_cols[p]
+            e = len(ecols)
+            idx = {c: k + j for j, c in enumerate(ecols)}
+            ext_idx[p] = idx
+            virt = k + e
+            w = [0] * (k + e) + [T]
+            sl = [0] * k
+            sr = [0] * k
+            for i in range(k):
+                c = lo + i
+                a, b = dep_map[c] if dep_map is not None else (c - 1, c + 1)
+                sl[i] = a - lo if lo <= a <= hi else idx.get(a, virt)
+                sr[i] = b - lo if lo <= b <= hi else idx.get(b, virt)
+            el_of[p] = idx.get(lo - 1, virt)
+            er_of[p] = idx.get(hi + 1, virt)
+            if k >= _VEC_MIN_COLS:
+                w = np.array(w, dtype=np.int64)
+                sl = np.asarray(sl, dtype=np.intp)
+                sr = np.asarray(sr, dtype=np.intp)
+                vec[p] = True
+            W_of[p] = w
+            sl_of[p] = sl
+            sr_of[p] = sr
+            remaining += k * T
 
         if T == 0 or remaining == 0:
             return 0
@@ -304,7 +461,7 @@ class DenseExecutor:
         l_used = [0] * n_links
         injections = 0
 
-        subscribers = {k: tuple(v) for k, v in self.subscribers.items()}
+        subscribers = {k_: tuple(v) for k_, v in self.subscribers.items()}
         subscribers_get = subscribers.get
 
         # Time-bucketed event lists.  Every push is strictly in the
@@ -321,32 +478,68 @@ class DenseExecutor:
             nonlocal pending_events
             if busy[p]:
                 return
-            done_p = done[p]
-            k = len(done_p)
-            lo = lo_of[p]
-            best_t = T + 1
-            best_i = -1
-            for i in range(k):
-                t = done_p[i] + 1
-                if t > T or t >= best_t:
-                    continue
-                tt = t - 1
-                # Left parent: own column i-1, or the external/virtual
-                # watermark for the first column.
-                if i > 0:
-                    if done_p[i - 1] < tt:
+            w = W_of[p]
+            if vec[p]:
+                # Batched ready scan: mask the non-ready columns to T
+                # (every ready column's watermark is < T), take the
+                # first argmin.  First-min semantics == the scalar
+                # loop's (smallest t, then smallest column) pick.
+                own = w[: k_of[p]]
+                ready = (
+                    (own < T)
+                    & (w[sl_of[p]] >= own)
+                    & (w[sr_of[p]] >= own)
+                )
+                tm = np.where(ready, own, T)
+                best_i = int(tm.argmin())
+                wt = int(tm[best_i])
+                if wt >= T:
+                    return
+                best_t = wt + 1
+            elif line:
+                # Line adjacency: own column i depends on own i-1/i+1
+                # except at the range edges, which read the external
+                # (or virtual) watermark slots directly.
+                k1 = k_of[p] - 1
+                eli = el_of[p]
+                eri = er_of[p]
+                best_t = T + 1
+                best_i = -1
+                for i in range(k1 + 1):
+                    wt = w[i]
+                    t = wt + 1
+                    if t > T or t >= best_t:
                         continue
-                elif ext_l[p] < tt:
-                    continue
-                if i < k - 1:
-                    if done_p[i + 1] < tt:
+                    if i > 0:
+                        if w[i - 1] < wt:
+                            continue
+                    elif w[eli] < wt:
                         continue
-                elif ext_r[p] < tt:
-                    continue
-                best_t = t
-                best_i = i
-            if best_i < 0:
-                return
+                    if i < k1:
+                        if w[i + 1] < wt:
+                            continue
+                    elif w[eri] < wt:
+                        continue
+                    best_t = t
+                    best_i = i
+                if best_i < 0:
+                    return
+            else:
+                sl = sl_of[p]
+                sr = sr_of[p]
+                best_t = T + 1
+                best_i = -1
+                for i in range(k_of[p]):
+                    wt = w[i]
+                    t = wt + 1
+                    if t > T or t >= best_t:
+                        continue
+                    if w[sl[i]] < wt or w[sr[i]] < wt:
+                        continue
+                    best_t = t
+                    best_i = i
+                if best_i < 0:
+                    return
             busy[p] = True
             arr = now + 1
             if arr >= len(buckets):
@@ -367,7 +560,7 @@ class DenseExecutor:
                 if ev[0] == _DONE:
                     _, p, i, t = ev
                     busy[p] = False
-                    done[p][i] = t
+                    W_of[p][i] = t
                     n_pebbles += 1
                     remaining -= 1
                     if now > makespan:
@@ -417,7 +610,9 @@ class DenseExecutor:
                             # Whole-stream send: batch-assign slots per
                             # direction (right first, then left — the
                             # greedy engine's hop_many order), then push
-                            # per subscriber in list order.
+                            # per subscriber in list order.  Wide
+                            # streams take the closed-form slot math:
+                            # injection j lands in slot0+(used0+j)//bw.
                             n_right = 0
                             for dst in subs:
                                 if dst > p:
@@ -429,12 +624,21 @@ class DenseExecutor:
                                 if now > slot:
                                     slot, used_ = now, 0
                                 d = delays[j]
-                                for _k in range(n_right):
-                                    if used_ < bw:
-                                        used_ += 1
-                                    else:
-                                        slot, used_ = slot + 1, 1
-                                    right_arr.append(slot + d)
+                                if n_right >= _VEC_MIN_SUBS:
+                                    base = slot + d
+                                    right_arr = (
+                                        base
+                                        + np.arange(used_, used_ + n_right) // bw
+                                    ).tolist()
+                                    occ = used_ + n_right - 1
+                                    slot, used_ = slot + occ // bw, occ % bw + 1
+                                else:
+                                    for _k in range(n_right):
+                                        if used_ < bw:
+                                            used_ += 1
+                                        else:
+                                            slot, used_ = slot + 1, 1
+                                        right_arr.append(slot + d)
                                 r_slot[j], r_used[j] = slot, used_
                                 injections += n_right
                             n_left = len(subs) - n_right
@@ -445,12 +649,21 @@ class DenseExecutor:
                                 if now > slot:
                                     slot, used_ = now, 0
                                 d = delays[j]
-                                for _k in range(n_left):
-                                    if used_ < bw:
-                                        used_ += 1
-                                    else:
-                                        slot, used_ = slot + 1, 1
-                                    left_arr.append(slot + d)
+                                if n_left >= _VEC_MIN_SUBS:
+                                    base = slot + d
+                                    left_arr = (
+                                        base
+                                        + np.arange(used_, used_ + n_left) // bw
+                                    ).tolist()
+                                    occ = used_ + n_left - 1
+                                    slot, used_ = slot + occ // bw, occ % bw + 1
+                                else:
+                                    for _k in range(n_left):
+                                        if used_ < bw:
+                                            used_ += 1
+                                        else:
+                                            slot, used_ = slot + 1, 1
+                                        left_arr.append(slot + d)
                                 l_slot[j], l_used[j] = slot, used_
                                 injections += n_left
                             n_messages += len(subs)
@@ -476,20 +689,14 @@ class DenseExecutor:
                 else:  # _MSG
                     _, pos, dst, c, t = ev
                     if pos == dst:
-                        if c < lo_of[pos]:
-                            if t != ext_l[pos] + 1:  # pragma: no cover
-                                raise AssertionError(
-                                    f"out-of-order delivery of ({c},{t}) at "
-                                    f"{pos}: have {ext_l[pos]}"
-                                )
-                            ext_l[pos] = t
-                        else:
-                            if t != ext_r[pos] + 1:  # pragma: no cover
-                                raise AssertionError(
-                                    f"out-of-order delivery of ({c},{t}) at "
-                                    f"{pos}: have {ext_r[pos]}"
-                                )
-                            ext_r[pos] = t
+                        w = W_of[pos]
+                        wi = ext_idx[pos][c]
+                        if t != w[wi] + 1:  # pragma: no cover
+                            raise AssertionError(
+                                f"out-of-order delivery of ({c},{t}) at "
+                                f"{pos}: have {w[wi]}"
+                            )
+                        w[wi] = t
                         try_start(pos, now)
                     else:
                         # Relay one hop toward the target.
@@ -599,6 +806,7 @@ class DenseExecutor:
         result = ExecResult(stats, self.T, self.assignment)
         folds, db_digests, states = self._guest_values()
         T = self.T
+        label = self.col_label
         for p in self.used:
             lo, hi = self.assignment.ranges[p]
             for c in range(lo, hi + 1):
@@ -611,7 +819,7 @@ class DenseExecutor:
                 elif isinstance(state, list):
                     state = list(state)
                 result.replicas[(p, c)] = Database(
-                    c, state, T, db_digests[c - 1]
+                    label(c), state, T, db_digests[c - 1]
                 )
         return result
 
@@ -630,9 +838,10 @@ def build_executor(
     ``greedy_kwargs`` are the greedy-only features (``faults``,
     ``policy``, ``trace``, ...); any of them being active forces (or,
     under ``engine='auto'``, silently selects) the greedy engine.
-    ``telemetry`` is the exception: both tiers support an attached
-    :class:`~repro.telemetry.timeline.MetricsTimeline`, so it never
-    forces a fallback.
+    ``telemetry`` and ``dep_map``/``col_label`` are the exceptions:
+    both tiers support an attached
+    :class:`~repro.telemetry.timeline.MetricsTimeline` and relabelled
+    (ring) guests, so neither forces a fallback.
     """
     from repro.core.executor import GreedyExecutor
 
@@ -644,7 +853,6 @@ def build_executor(
         trace=greedy_kwargs.get("trace"),
         multicast=greedy_kwargs.get("multicast", False),
         tie_seed=greedy_kwargs.get("tie_seed"),
-        dep_map=greedy_kwargs.get("dep_map"),
     )
     if resolved == "dense":
         return DenseExecutor(
@@ -653,6 +861,8 @@ def build_executor(
             program,
             steps,
             bandwidth,
+            dep_map=greedy_kwargs.get("dep_map"),
+            col_label=greedy_kwargs.get("col_label"),
             telemetry=greedy_kwargs.get("telemetry"),
         )
     greedy_kwargs.pop("forced_dead", None)

@@ -1079,6 +1079,18 @@ def run_assignment(
     program: Program,
     steps: int,
     bandwidth: int | None = None,
+    engine: str = "auto",
+    telemetry=None,
 ) -> ExecResult:
-    """Convenience wrapper: build an executor and run it."""
-    return GreedyExecutor(host, assignment, program, steps, bandwidth).run()
+    """Convenience wrapper: resolve the tier and run the assignment.
+
+    ``engine`` follows the usual ``auto``/``dense``/``greedy`` rule
+    (fault-free runs resolve dense; results are bit-identical either
+    way); ``telemetry`` attaches a
+    :class:`~repro.telemetry.timeline.MetricsTimeline` on both tiers.
+    """
+    from repro.core.dense import build_executor
+
+    return build_executor(
+        engine, host, assignment, program, steps, bandwidth, telemetry=telemetry
+    ).run()

@@ -274,6 +274,12 @@ def simulate_overlap_on_graph(
     call :func:`~repro.topology.embedding.embed_linear_array` on the
     host first to aim a plan at specific graph nodes, the embedding is
     deterministic.
+
+    The embedding also precomputes every route delay into the induced
+    array's flat ``link_delays``, so a fault-free graph-host run is an
+    ordinary array workload: ``engine="auto"`` resolves it to the
+    dense tier (bit-identical to greedy), and only the fault/recovery/
+    trace features above force the event-driven engine.
     """
     embedding = embed_linear_array(host)
     array = embedding.host_array(name=f"embed({host.name})")

@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.assignment import Assignment
-from repro.core.executor import ExecResult, GreedyExecutor
+from repro.core.dense import DenseExecutor, build_executor
+from repro.core.executor import ExecResult
 from repro.lower_bounds.audit import windowed_assignment
 from repro.machine.guest import GuestRing, RingReferenceRun
 from repro.machine.host import HostArray
@@ -75,6 +76,8 @@ class RingResult:
     steps: int
     exec_result: ExecResult
     verified: bool
+    #: Execution tier that ran ("dense" or "greedy").
+    engine: str = "greedy"
 
     @property
     def slowdown(self) -> float:
@@ -90,11 +93,20 @@ def simulate_ring(
     copies: int = 1,
     bandwidth: int | None = None,
     verify: bool = True,
+    engine: str = "auto",
+    telemetry=None,
 ) -> RingResult:
     """Simulate an ``m``-node unit-delay guest ring on an array host.
 
     ``copies`` selects the assignment: 1 spreads each folded column
     once; >= 2 uses the windowed multi-copy layout (redundancy).
+
+    ``engine`` selects the execution tier (``auto``/``dense``/
+    ``greedy``): the dense fast path resolves the ring's ``dep_map``
+    through the same watermark skeleton as the line adjacency, so
+    fault-free ring runs take it by default — bit-identical to greedy.
+    ``telemetry`` (a :class:`~repro.telemetry.timeline.MetricsTimeline`)
+    is supported on both tiers.
     """
     program = program or CounterProgram()
     m = m or host.n
@@ -109,16 +121,25 @@ def simulate_ring(
         asg = _spread(host.n, m)
     else:
         asg = windowed_assignment(host.n, m, copies=copies)
-    executor = GreedyExecutor(
-        host, asg, program, steps, bandwidth, dep_map=dep_map, col_label=label
+    executor = build_executor(
+        engine,
+        host,
+        asg,
+        program,
+        steps,
+        bandwidth,
+        dep_map=dep_map,
+        col_label=label,
+        telemetry=telemetry,
     )
+    resolved = "dense" if isinstance(executor, DenseExecutor) else "greedy"
     result = executor.run()
     verified = False
     if verify:
         reference = GuestRing(m, program).run_reference_full(steps)
         verify_ring_execution(result, reference, program, node_of_col)
         verified = True
-    return RingResult(host, m, steps, result, verified)
+    return RingResult(host, m, steps, result, verified, engine=resolved)
 
 
 def _spread(n: int, m: int) -> Assignment:

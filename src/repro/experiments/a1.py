@@ -26,7 +26,7 @@ from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run both bandwidth sweeps."""
     n = 96 if quick else 160
     steps = 16 if quick else 24
@@ -42,7 +42,9 @@ def run(quick: bool = True) -> ExperimentResult:
     one_d = {}
     two_d = {}
     for bw in [1, 2, lg, 4 * lg]:
-        ov = simulate_overlap(host, steps=steps, block=8, bandwidth=bw, verify=False)
+        ov = simulate_overlap(
+            host, steps=steps, block=8, bandwidth=bw, verify=False, engine=engine
+        )
         td = simulate_2d_on_uniform_array(
             m2d, m2d, d2d, steps=4, bandwidth=bw, verify=False
         )

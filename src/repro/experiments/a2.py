@@ -16,7 +16,7 @@ from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the c sweep."""
     n = 128 if quick else 256
     steps = 16 if quick else 24
@@ -27,7 +27,9 @@ def run(quick: bool = True) -> ExperimentResult:
 
     rows = []
     for c in [2.5, 3.0, 4.0, 6.0, 10.0]:
-        res = simulate_overlap(host, steps=steps, block=4, c=c, verify=False)
+        res = simulate_overlap(
+            host, steps=steps, block=4, c=c, verify=False, engine=engine
+        )
         rows.append(
             {
                 "c": c,

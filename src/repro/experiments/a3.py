@@ -17,14 +17,14 @@ from repro.core.uniform import simulate_uniform
 from repro.experiments.base import ExperimentResult
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the model-contrast sweep."""
     n = 6 if quick else 8
     d_values = [4, 16, 64, 256] if quick else [4, 16, 64, 256, 1024]
     rows, ds, df_slows = [], [], []
     for d in d_values:
         df = simulate_dataflow(n, d, verify=(d <= 64))
-        db = simulate_uniform(n, d, steps=df.steps, verify=False)
+        db = simulate_uniform(n, d, steps=df.steps, verify=False, engine=engine)
         db_red = db.exec_result.stats.pebbles / (db.assignment.m * db.steps)
         rows.append(
             {

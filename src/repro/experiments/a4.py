@@ -11,6 +11,7 @@ correctness or, materially, the makespan.  This quantifies the saving
 from __future__ import annotations
 
 from repro.core.assignment import assign_databases
+from repro.core.dense import build_executor
 from repro.core.executor import GreedyExecutor
 from repro.core.killing import kill_and_label
 from repro.experiments.base import ExperimentResult
@@ -18,7 +19,7 @@ from repro.machine.host import HostArray
 from repro.machine.programs import CounterProgram
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the multicast on/off comparison across block factors."""
     n = 96 if quick else 160
     steps = 16 if quick else 24
@@ -32,7 +33,7 @@ def run(quick: bool = True) -> ExperimentResult:
     savings = []
     for block in (1, 4, 8):
         asg = assign_databases(killing, block=block)
-        uni = GreedyExecutor(host, asg, prog, steps, multicast=False).run()
+        uni = build_executor(engine, host, asg, prog, steps).run()
         multi = GreedyExecutor(host, asg, prog, steps, multicast=True).run()
         saving = 1 - multi.stats.pebble_hops / max(1, uni.stats.pebble_hops)
         savings.append(saving)

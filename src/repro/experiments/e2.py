@@ -20,7 +20,7 @@ def _skewed_host(n: int, big: int) -> HostArray:
     return HostArray(delays)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the block-factor sweep."""
     n = 96 if quick else 160
     big = 512
@@ -31,7 +31,9 @@ def run(quick: bool = True) -> ExperimentResult:
     rows = []
     effs = []
     for beta in blocks:
-        res = simulate_overlap(host, steps=steps, block=beta, verify=(beta <= 4))
+        res = simulate_overlap(
+            host, steps=steps, block=beta, verify=(beta <= 4), engine=engine
+        )
         effs.append(res.efficiency())
         rows.append(
             {

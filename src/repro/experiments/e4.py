@@ -14,7 +14,7 @@ from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the composed-simulation sweep."""
     n = 32 if quick else 64
     d_values = [4, 16, 64] if quick else [4, 16, 64, 256]
@@ -22,8 +22,10 @@ def run(quick: bool = True) -> ExperimentResult:
     rows, ds, comp_slows, plain_slows = [], [], [], []
     for d in d_values:
         host = HostArray.uniform(n, d)
-        comp = simulate_composed(host, verify=(d <= 16))
-        plain = simulate_overlap(host, steps=comp.steps, block=1, verify=False)
+        comp = simulate_composed(host, verify=(d <= 16), engine=engine)
+        plain = simulate_overlap(
+            host, steps=comp.steps, block=1, verify=False, engine=engine
+        )
         rows.append(
             {
                 "d_ave": d,

@@ -20,7 +20,7 @@ from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the 2-D sweeps."""
     configs = (
         [  # (m, n_procs, d) spanning case 1 (g=1) and case 2 (g>1)
@@ -58,7 +58,7 @@ def run(quick: bool = True) -> ExperimentResult:
     m, n0, d_ave = (12, 12, 4) if quick else (16, 16, 4)
     t7 = simulate_2d_on_uniform_array(m, n0, d_ave, steps=4)
     host = HostArray.uniform(n0 * 2, d_ave)
-    ov = simulate_overlap(host, steps=8, verify=False)
+    ov = simulate_overlap(host, steps=8, verify=False, engine=engine)
     composed = t7.slowdown * ov.slowdown
     n_guest = m * m
     return ExperimentResult(

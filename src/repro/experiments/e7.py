@@ -17,16 +17,20 @@ from repro.lower_bounds.h1 import theorem9_audit
 from repro.topology.generators import h1_host
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the H1 sweep."""
     sizes = [64, 144, 256, 576] if quick else [64, 144, 256, 576, 1024]
     steps = 10 if quick else 16
     rows = []
     for n in sizes:
         host = h1_host(n)
-        single = simulate_single_copy(host, steps=steps, verify=quick and n <= 144)
+        single = simulate_single_copy(
+            host, steps=steps, verify=quick and n <= 144, engine=engine
+        )
         audit = theorem9_audit(single.assignment, host)
-        overlap = simulate_overlap(host, steps=steps, block=8, verify=False)
+        overlap = simulate_overlap(
+            host, steps=steps, block=8, verify=False, engine=engine
+        )
         rows.append(
             {
                 "n": n,

@@ -18,7 +18,7 @@ from repro.machine.programs import CounterProgram
 from repro.topology.generators import h2_host
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the H2 sweep."""
     sizes = [64, 256, 1024] if quick else [64, 256, 1024, 4096]
     steps = 8 if quick else 12
@@ -29,7 +29,7 @@ def run(quick: bool = True) -> ExperimentResult:
         arr = h2.array
         asg = windowed_assignment(arr.n, arr.n, copies=2)
         bound = theorem10_bound(h2, asg)
-        result = run_assignment(arr, asg, prog, steps)
+        result = run_assignment(arr, asg, prog, steps, engine=engine)
         slowdown = result.stats.makespan / steps
         rows.append(
             {

@@ -12,14 +12,14 @@ from repro.core.uniform import simulate_uniform, trapezium_census
 from repro.experiments.base import ExperimentResult
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Tabulate the Figure-4 accounting."""
     d_values = [16, 64, 256] if quick else [16, 64, 256, 1024]
     rows = []
     for d in d_values:
         c = trapezium_census(d)
         q = c["q"]
-        res = simulate_uniform(5, d, steps=q, verify=False)
+        res = simulate_uniform(5, d, steps=q, verify=False, engine=engine)
         rows.append(
             {
                 "d": d,

@@ -40,7 +40,7 @@ def _same_dave_hosts(n: int, d_ave: int, seed: int = 0):
     yield "one-huge-link", HostArray(delays)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the open-question explorations."""
     n = 96 if quick else 192
     d_ave = 8
@@ -49,8 +49,8 @@ def run(quick: bool = True) -> ExperimentResult:
     rows = []
     blocked, single = [], []
     for name, host in _same_dave_hosts(n, d_ave):
-        ov = simulate_overlap(host, steps=steps, block=8, verify=False)
-        sc = simulate_single_copy(host, steps=steps, verify=False)
+        ov = simulate_overlap(host, steps=steps, block=8, verify=False, engine=engine)
+        sc = simulate_single_copy(host, steps=steps, verify=False, engine=engine)
         blocked.append(ov.slowdown)
         single.append(sc.slowdown)
         rows.append(
@@ -65,8 +65,10 @@ def run(quick: bool = True) -> ExperimentResult:
         )
 
     ring_host = HostArray.uniform(24, 4)
-    ring = simulate_ring(ring_host, steps=8, verify=quick)
-    arr = simulate_single_copy(ring_host, m=24, steps=8, verify=False)
+    ring = simulate_ring(ring_host, steps=8, verify=quick, engine=engine)
+    arr = simulate_single_copy(
+        ring_host, m=24, steps=8, verify=False, engine=engine
+    )
     rows.append(
         {
             "experiment": "ring-vs-array",

@@ -27,7 +27,7 @@ def _hosts(quick: bool):
     yield mixed_now(96 if quick else 192, seed=1)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:
     """Run the planner-validation sweep."""
     betas = [1, 4, 8, 16, 32]
     steps = 16 if quick else 24
@@ -37,7 +37,9 @@ def run(quick: bool = True) -> ExperimentResult:
         plan = plan_block_factor(host, candidates=betas)
         measured = {}
         for beta in betas:
-            res = simulate_overlap(host, steps=steps, block=beta, verify=False)
+            res = simulate_overlap(
+                host, steps=steps, block=beta, verify=False, engine=engine
+            )
             measured[beta] = res.slowdown
         best = min(measured, key=measured.get)
         hit = plan.beta in (best // 2, best, best * 2)

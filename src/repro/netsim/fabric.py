@@ -15,6 +15,14 @@ Two fabrics are provided.
     Positions are ``0..n-1``; link ``j`` connects positions ``j`` and
     ``j+1``.  The fabric exposes whole-route sends along the array with
     per-link pipelining, which is what the executors actually need.
+
+Graph hosts never reach an executor through :class:`Fabric` directly:
+the Fact-3 embedding collapses every per-assignment route into the
+induced array's flat ``link_delays``, so executors (and the dense
+tier, which inlines the LinkPipe slot rule as three flat ints per
+directed link) always see a :class:`LineFabric`-shaped host.
+:class:`Fabric` remains the substrate for netsim-level routing and
+fault-table tests on the original graph.
 """
 
 from __future__ import annotations

@@ -99,18 +99,18 @@ class LinkPipe:
         if t_ready > slot_time:
             slot_time = t_ready
             slot_used = 0
+        # Closed form of the slot rule: with ``slot_used`` pebbles
+        # already occupying the current slot, injection ``j`` (0-based)
+        # is the ``slot_used + j``-th occupant and lands in slot
+        # ``slot_time + (slot_used + j) // bw``.  Same assignment as
+        # ``count`` successive inject() calls, without the per-pebble
+        # branch (the dense tier inlines this identical arithmetic).
         delay = self.delay
-        arrivals = []
-        append = arrivals.append
-        for _ in range(count):
-            if slot_used < bw:
-                slot_used += 1
-            else:
-                slot_time += 1
-                slot_used = 1
-            append(slot_time + delay)
-        self._slot_time = slot_time
-        self._slot_used = slot_used
+        base = slot_time + delay
+        arrivals = [base + (slot_used + j) // bw for j in range(count)]
+        occ = slot_used + count - 1
+        self._slot_time = slot_time + occ // bw
+        self._slot_used = occ % bw + 1
         self._injected += count
         return arrivals
 

@@ -68,15 +68,32 @@ def _per_proc_work(result):
     return work
 
 
-def assert_bit_identical(host, assignment, program, steps, bandwidth=None):
-    greedy = GreedyExecutor(host, assignment, program, steps, bandwidth).run()
-    dense = DenseExecutor(host, assignment, program, steps, bandwidth).run()
+def _telemetry_dict(timeline):
+    """Timeline contents minus ``meta`` (whose ``engine`` tag differs)."""
+    d = timeline.as_dict()
+    d.pop("meta", None)
+    return d
+
+
+def assert_bit_identical(
+    host, assignment, program, steps, bandwidth=None, **kwargs
+):
+    from repro.telemetry import MetricsTimeline
+
+    tg, td = MetricsTimeline(), MetricsTimeline()
+    greedy = GreedyExecutor(
+        host, assignment, program, steps, bandwidth, telemetry=tg, **kwargs
+    ).run()
+    dense = DenseExecutor(
+        host, assignment, program, steps, bandwidth, telemetry=td, **kwargs
+    ).run()
     assert _stats_tuple(dense) == _stats_tuple(greedy)
     assert _per_proc_work(dense) == _per_proc_work(greedy)
     assert dense.value_digests == greedy.value_digests
     assert dense.replicas.keys() == greedy.replicas.keys()
     for key, rep in greedy.replicas.items():
         assert dense.replicas[key].summary() == rep.summary(), key
+    assert _telemetry_dict(td) == _telemetry_dict(tg)
     return greedy, dense
 
 
@@ -148,6 +165,202 @@ def test_differential_e5_graph(host):
     killing = kill_and_label(array)
     assignment = assign_databases(killing, 2)
     assert_bit_identical(array, assignment, CounterProgram(), 8)
+
+
+# ---------------------------------------------------------------------------
+# ring grid: folded-ring dep_map/col_label wiring through the watermark
+# skeleton.  Covers single- and multi-copy layouts, every program
+# family (vectorised and structured-state), bandwidth contention and
+# guests smaller than the host.
+
+RING_GRID = [
+    # (n, m, d_ave, steps, program, copies, bandwidth, seed)
+    (16, 16, 2.0, 4, "counter", 1, None, 0),
+    (16, 8, 2.0, 6, "counter", 1, None, 1),
+    (24, 24, 4.0, 6, "counter", 2, None, 2),
+    (24, 24, 4.0, 6, "counter", 2, 2, 3),
+    (24, 12, 3.0, 8, "dataflow", 1, None, 4),
+    (32, 32, 2.0, 8, "hashchain", 1, None, 5),
+    (32, 32, 6.0, 8, "hashchain", 3, None, 6),
+    (32, 16, 4.0, 6, "token", 2, None, 7),
+    (40, 40, 3.0, 8, "ledger", 1, None, 8),
+    (40, 40, 5.0, 6, "ledger", 2, 1, 9),
+    (40, 20, 4.0, 8, "keyed", 1, None, 10),
+    (48, 48, 4.0, 8, "counter", 1, 1, 11),
+    (48, 48, 8.0, 10, "relax", 2, 3, 12),
+    (48, 24, 2.0, 6, "relax", 1, None, 13),
+    (56, 56, 5.0, 8, "token", 1, None, 14),
+    (56, 56, 3.0, 6, "keyed", 2, None, 15),
+    (64, 64, 8.0, 10, "counter", 2, None, 16),
+    (64, 64, 4.0, 8, "dataflow", 3, 2, 17),
+    (64, 32, 6.0, 8, "hashchain", 1, None, 18),
+    (24, 24, 2.0, 0, "counter", 1, None, 19),  # zero-step ring run
+    (16, 5, 2.0, 5, "counter", 1, None, 20),  # odd-size ring fold
+]
+
+
+def _ring_setup(n, m, d_ave, copies, seed):
+    from repro.core.ring import ring_dep_map
+    from repro.lower_bounds.audit import windowed_assignment
+
+    host = _random_host(n, d_ave, 100 + seed)
+    dep_map, node_of_col = ring_dep_map(m)
+    label = lambda col: node_of_col[col] + 1  # noqa: E731
+    if copies <= 1:
+        asg = spread_assignment(n, m)
+    else:
+        asg = windowed_assignment(n, m, copies=copies)
+    return host, asg, dep_map, label
+
+
+@pytest.mark.parametrize("n,m,d_ave,steps,prog,copies,bw,seed", RING_GRID)
+def test_differential_ring(n, m, d_ave, steps, prog, copies, bw, seed):
+    host, asg, dep_map, label = _ring_setup(n, m, d_ave, copies, seed)
+    assert_bit_identical(
+        host, asg, get_program(prog), steps, bw,
+        dep_map=dep_map, col_label=label,
+    )
+
+
+def test_simulate_ring_engines_agree():
+    from repro.core.ring import simulate_ring
+
+    host = _random_host(32, 3.0, 23)
+    greedy = simulate_ring(host, steps=6, engine="greedy")
+    dense = simulate_ring(host, steps=6, engine="dense")
+    auto = simulate_ring(host, steps=6)
+    assert greedy.engine == "greedy"
+    assert dense.engine == "dense" and auto.engine == "dense"
+    assert greedy.verified and dense.verified and auto.verified
+    assert (
+        _stats_tuple(dense.exec_result)
+        == _stats_tuple(greedy.exec_result)
+        == _stats_tuple(auto.exec_result)
+    )
+    assert dense.exec_result.value_digests == greedy.exec_result.value_digests
+
+
+def test_simulate_ring_multicopy_engines_agree():
+    from repro.core.ring import simulate_ring
+
+    host = _random_host(40, 4.0, 24)
+    greedy = simulate_ring(host, steps=6, copies=2, engine="greedy")
+    dense = simulate_ring(host, steps=6, copies=2, engine="dense")
+    assert dense.engine == "dense"
+    assert _stats_tuple(dense.exec_result) == _stats_tuple(greedy.exec_result)
+
+
+# ---------------------------------------------------------------------------
+# graph-host grid: arbitrary connected hosts reduced to arrays by the
+# Fact-3 embedding — the embedding precomputes the per-assignment route
+# delays into the induced array's flat link_delays, so the fault-free
+# run is a dense-tier workload like any native array.
+
+GRAPH_GRID = [
+    # (kind, a, b, block, steps, bandwidth, seed)
+    ("mesh", 3, 3, 1, 6, None, 0),
+    ("mesh", 3, 4, 2, 6, None, 1),
+    ("mesh", 4, 4, 1, 8, None, 2),
+    ("mesh", 4, 4, 2, 8, 1, 3),
+    ("mesh", 4, 5, 2, 8, None, 4),
+    ("mesh", 5, 5, 3, 8, None, 5),
+    ("mesh", 4, 6, 1, 10, 2, 6),
+    ("mesh", 6, 6, 2, 6, None, 7),
+    ("tree", 3, 14, 1, 6, None, 8),
+    ("tree", 3, 14, 2, 8, None, 9),
+    ("tree", 4, 30, 1, 8, None, 10),
+    ("tree", 4, 30, 2, 8, 1, 11),
+    ("tree", 4, 30, 3, 6, None, 12),
+    ("tree", 5, 62, 2, 8, None, 13),
+    ("now", 3, 3, 1, 6, None, 14),
+    ("now", 3, 4, 2, 8, None, 15),
+    ("now", 4, 4, 1, 8, None, 16),
+    ("now", 4, 4, 2, 6, 2, 17),
+    ("now", 5, 3, 2, 8, None, 18),
+    ("now", 2, 8, 1, 8, None, 19),
+    ("now", 4, 6, 3, 10, None, 20),
+]
+
+
+def _graph_host(kind, a, b, seed):
+    rng = np.random.default_rng(200 + seed)
+    if kind == "mesh":
+        return mesh_host(a, b, uniform_delays(2 * a * b - a - b, rng, 1, 6))
+    if kind == "tree":
+        return tree_host(a, uniform_delays(b, rng, 1, 6))
+    return now_cluster_host(a, b, intra_delay=1, inter_delay=8)
+
+
+@pytest.mark.parametrize("kind,a,b,block,steps,bw,seed", GRAPH_GRID)
+def test_differential_graph(kind, a, b, block, steps, bw, seed):
+    from repro.topology.embedding import embed_linear_array
+
+    host = _graph_host(kind, a, b, seed)
+    array = embed_linear_array(host).host_array()
+    killing = kill_and_label(array)
+    assignment = assign_databases(killing, block)
+    assert_bit_identical(array, assignment, CounterProgram(), steps, bw)
+
+
+def test_simulate_composed_engines_agree():
+    from repro.core.composed import simulate_composed
+
+    host = _random_host(24, 4.0, 25)
+    greedy = simulate_composed(host, steps=6, engine="greedy")
+    dense = simulate_composed(host, steps=6, engine="dense")
+    auto = simulate_composed(host, steps=6)
+    assert greedy.engine == "greedy"
+    assert dense.engine == "dense" and auto.engine == "dense"
+    assert greedy.verified and dense.verified and auto.verified
+    assert (
+        _stats_tuple(dense.exec_result)
+        == _stats_tuple(greedy.exec_result)
+        == _stats_tuple(auto.exec_result)
+    )
+
+
+def test_simulate_composed_on_graph_engines_agree():
+    from repro.core.composed import simulate_composed_on_graph
+
+    rng = np.random.default_rng(26)
+    host = mesh_host(4, 4, uniform_delays(24, rng, 1, 6))
+    greedy = simulate_composed_on_graph(host, steps=6, engine="greedy")
+    dense = simulate_composed_on_graph(host, steps=6, engine="dense")
+    assert dense.engine == "dense"
+    assert dense.embedding is not None
+    assert _stats_tuple(dense.exec_result) == _stats_tuple(greedy.exec_result)
+
+
+def test_run_assignment_engines_agree():
+    from repro.core.executor import run_assignment
+
+    host = _random_host(24, 3.0, 27)
+    killing = kill_and_label(host)
+    assignment = assign_databases(killing, 1)
+    greedy = run_assignment(host, assignment, CounterProgram(), 6, engine="greedy")
+    dense = run_assignment(host, assignment, CounterProgram(), 6, engine="dense")
+    auto = run_assignment(host, assignment, CounterProgram(), 6)
+    assert (
+        _stats_tuple(dense)
+        == _stats_tuple(greedy)
+        == _stats_tuple(auto)
+    )
+    assert dense.value_digests == greedy.value_digests
+
+
+def test_build_executor_ring_dispatch():
+    # dep_map alone no longer forces greedy: the dense tier resolves it.
+    host, asg, dep_map, label = _ring_setup(16, 16, 2.0, 1, 99)
+    ex = build_executor(
+        "auto", host, asg, CounterProgram(), 4,
+        dep_map=dep_map, col_label=label,
+    )
+    assert isinstance(ex, DenseExecutor)
+    ex = build_executor(
+        "greedy", host, asg, CounterProgram(), 4,
+        dep_map=dep_map, col_label=label,
+    )
+    assert isinstance(ex, GreedyExecutor)
 
 
 # ---------------------------------------------------------------------------
@@ -250,7 +463,6 @@ def test_resolve_engine_fallback_triggers():
     assert resolve_engine("auto", trace=object()) == "greedy"
     assert resolve_engine("auto", multicast=True) == "greedy"
     assert resolve_engine("auto", tie_seed=7) == "greedy"
-    assert resolve_engine("auto", dep_map={}) == "greedy"
 
 
 def test_resolve_engine_dense_refuses_greedy_features():
