@@ -23,10 +23,17 @@ Run after ``benchmarks/bench_sweep.py`` and ``benchmarks/bench_dense.py``
    and the *line* section must not regress below 10% under its
    recorded 6.96x (>= 6.26x; relaxed to the 3x floor on smoke
    records, whose small workloads blunt the vectorisation win).
-5. **differential tests** — the dense-vs-greedy bit-identical suite
-   (``tests/test_dense.py``) must run with zero skips; a skipped
-   differential test would let the fast path drift from the reference
-   silently.  ``--no-tests`` omits this (e.g. when pytest is absent).
+5. **faulted engine ratios** — the ``faulted`` section of
+   ``BENCH_dense.json`` must show the segmented
+   :class:`FaultedDenseExecutor` >= 2x greedy on *line*, *ring* and
+   *graph* sub-records (scalar fault handling and per-boundary
+   checkpoints eat into the vectorisation win, hence the lower
+   floor — it applies smoke or not, like every ratio gate).
+6. **differential tests** — the dense-vs-greedy bit-identical suites
+   (``tests/test_dense.py`` fault-free, ``tests/test_dense_faults.py``
+   faulted) must run with zero skips; a skipped differential test
+   would let the fast path drift from the reference silently.
+   ``--no-tests`` omits this (e.g. when pytest is absent).
 
 Exit status 0 = all gates pass.
 """
@@ -50,6 +57,10 @@ MIN_DENSE_OVER_GREEDY = 3.0
 # Line-section regression floor: the recorded full-workload ratio is
 # 6.96x (BENCH_dense.json); allow 10% machine-to-machine noise.
 MIN_LINE_OVER_GREEDY = 6.26
+# Segmented faulted tier: scalar fault handling and per-boundary
+# checkpoints eat into the vectorisation win, so the floor is lower
+# than the fault-free 3x.
+MIN_FAULTED_OVER_GREEDY = 2.0
 
 
 def _fail(msg: str) -> bool:
@@ -121,6 +132,40 @@ def check_dense(payload: dict) -> bool:
     return failed
 
 
+def check_faulted(payload: dict) -> bool:
+    """Faulted-tier engine-ratio gates over ``BENCH_dense.json``.
+
+    A missing ``faulted`` section fails loudly: silently skipping it
+    would let the segmented executor regress to (or below) greedy
+    speed without any gate noticing.
+    """
+    faulted = (payload.get("sections") or {}).get("faulted")
+    if not faulted:
+        return _fail(
+            "BENCH_dense.json has no 'faulted' section — the segmented "
+            "fault-path speedup is unmeasured"
+        )
+    failed = False
+    for name in ("line", "ring", "graph"):
+        rec = faulted.get(name)
+        if not rec:
+            failed = _fail(f"faulted section missing the '{name}' record")
+            continue
+        ratio = rec.get("dense_over_greedy")
+        if ratio is None or ratio < MIN_FAULTED_OVER_GREEDY:
+            failed = _fail(
+                f"faulted/{name}: only {ratio}x greedy "
+                f"(< {MIN_FAULTED_OVER_GREEDY}x)"
+            )
+        else:
+            events = rec.get("fault_events", "?")
+            print(
+                f"[bench_compare] faulted/{name}: {ratio}x greedy "
+                f"({events} fault events): ok"
+            )
+    return failed
+
+
 def check_throughput(payload: dict) -> bool:
     failed = False
     records = {"executor": payload.get("executor", {})}
@@ -148,7 +193,15 @@ def check_throughput(payload: dict) -> bool:
 
 
 def check_differential_tests() -> bool:
-    cmd = [sys.executable, "-m", "pytest", "tests/test_dense.py", "-q", "-rs"]
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "tests/test_dense.py",
+        "tests/test_dense_faults.py",
+        "-q",
+        "-rs",
+    ]
     env_path = str(REPO_ROOT / "src")
     import os
 
@@ -213,7 +266,9 @@ def main(argv: list[str] | None = None) -> int:
             f"{dense_path} not found — run benchmarks/bench_dense.py first"
         )
     else:
-        failed |= check_dense(json.loads(dense_path.read_text()))
+        dense_payload = json.loads(dense_path.read_text())
+        failed |= check_dense(dense_payload)
+        failed |= check_faulted(dense_payload)
     if not args.no_tests:
         failed |= check_differential_tests()
 

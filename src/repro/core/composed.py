@@ -119,15 +119,20 @@ def simulate_composed(
     verify: bool = True,
     engine: str = "auto",
     telemetry=None,
+    faults=None,
+    policy=None,
 ) -> ComposedResult:
     """Theorem 5 on a host array: guest of ``~ n' h0_block q`` columns,
     slowdown ``O(sqrt(d_ave) * polylog)``.
 
     ``engine`` selects the execution tier (``auto``/``dense``/
-    ``greedy``); the composed assignment is a plain fault-free array
-    run, so ``auto`` takes the dense fast path — bit-identical to
-    greedy.  ``telemetry`` attaches a
-    :class:`~repro.telemetry.timeline.MetricsTimeline` (both tiers).
+    ``greedy``); the composed assignment is a plain array run, so
+    ``auto`` takes the dense tier — the fault-free fast path, or the
+    segmented :class:`~repro.core.dense_faults.FaultedDenseExecutor`
+    when ``faults`` (a :class:`~repro.netsim.faults.FaultPlan`) is
+    non-empty — bit-identical to greedy either way.  ``telemetry``
+    attaches a :class:`~repro.telemetry.timeline.MetricsTimeline`
+    (both tiers).
     """
     program = program or CounterProgram()
     killing = kill_and_label(host, c)
@@ -137,13 +142,18 @@ def simulate_composed(
     if steps is None:
         steps = max(4, 2 * q)
     executor = build_executor(
-        engine, host, assignment, program, steps, bandwidth, telemetry=telemetry
+        engine, host, assignment, program, steps, bandwidth,
+        telemetry=telemetry, faults=faults, policy=policy,
     )
     resolved = "dense" if isinstance(executor, DenseExecutor) else "greedy"
     exec_result = executor.run()
     verified = False
     if verify:
-        reference = GuestArray(assignment.m, program).run_reference(steps)
+        # Reference built *after* the run: mid-run recovery may have
+        # shrunk the guest to the surviving prefix 1..m'.
+        reference = GuestArray(exec_result.assignment.m, program).run_reference(
+            steps
+        )
         verify_execution(exec_result, reference, program)
         verified = True
     return ComposedResult(
@@ -163,20 +173,25 @@ def simulate_composed_on_graph(
     verify: bool = True,
     engine: str = "auto",
     telemetry=None,
+    faults=None,
+    policy=None,
 ) -> ComposedResult:
     """Theorem 6: the composed simulation on an arbitrary connected
     host, reduced to an array by the Fact-3 embedding.
 
     The embedding precomputes every per-assignment route delay into the
     flat ``link_delays`` array of the induced
-    :class:`~repro.machine.host.HostArray`, so the fault-free composed
-    run executes on the dense tier exactly like a native array host.
+    :class:`~repro.machine.host.HostArray`, so the composed run
+    executes on the dense tier exactly like a native array host —
+    fault-free or faulted (``faults`` targets are interpreted in
+    embedded-array coordinates, as in
+    :func:`~repro.core.overlap.simulate_overlap_on_graph`).
     """
     embedding = embed_linear_array(host)
     array = embedding.host_array(name=f"embed({host.name})")
     result = simulate_composed(
         array, program, steps, c, q, h0_block, bandwidth, verify,
-        engine=engine, telemetry=telemetry,
+        engine=engine, telemetry=telemetry, faults=faults, policy=policy,
     )
     result.embedding = embedding
     return result

@@ -50,9 +50,11 @@ exactly the flat ``link_delays`` array of the embedded
 
 The tier covers every fault-free topology: plain line arrays, ring
 guests (relabelled via ``dep_map``/``col_label``), and graph hosts
-after embedding.  Faults, recovery policies, forced-dead
-reconfiguration, tracing, multicast streams and scheduling jitter
-(``tie_seed``) still take the greedy engine; :func:`resolve_engine`
+after embedding.  Faulted runs take the segmented
+:class:`~repro.core.dense_faults.FaultedDenseExecutor` subclass (dense
+between fault boundaries, scalar handling only at fault/recovery
+events); only tracing, multicast streams and scheduling jitter
+(``tie_seed``) still take the greedy engine.  :func:`resolve_engine`
 encodes that selection rule for the ``engine="auto"`` front-ends.
 Telemetry is the one observability feature both tiers support: an
 attached :class:`~repro.telemetry.timeline.MetricsTimeline` is fed from
@@ -110,18 +112,20 @@ def resolve_engine(
     Relabelled guests (``dep_map``/``col_label``, i.e. rings) are *not*
     a fallback reason: the dense skeleton resolves arbitrary dependency
     maps through the same watermark indices as the line adjacency.
+    Neither are faults, recovery policies or forced-dead positions any
+    more: faulted runs take the segmented
+    :class:`~repro.core.dense_faults.FaultedDenseExecutor` tier (dense
+    between fault boundaries, bit-identical to greedy), and
+    ``forced_dead`` only shapes the assignment, which both tiers
+    consume as-is.  The remaining fallback reasons are tracing,
+    multicast streams and scheduling jitter (``tie_seed``).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     if engine == "greedy":
         return "greedy"
+    del faults, policy, forced_dead  # dense-capable since tier 3
     reasons = []
-    if faults is not None and not faults.is_empty:
-        reasons.append("fault injection")
-    if policy is not None:
-        reasons.append("a recovery policy")
-    if forced_dead:
-        reasons.append("forced-dead positions")
     if trace is not None:
         reasons.append("tracing")
     if multicast:
@@ -835,13 +839,15 @@ def build_executor(
 ):
     """Resolve the tier and construct the matching executor.
 
-    ``greedy_kwargs`` are the greedy-only features (``faults``,
-    ``policy``, ``trace``, ...); any of them being active forces (or,
-    under ``engine='auto'``, silently selects) the greedy engine.
-    ``telemetry`` and ``dep_map``/``col_label`` are the exceptions:
+    ``greedy_kwargs`` are the feature knobs (``faults``, ``policy``,
+    ``trace``, ...).  Tracing, multicast and ``tie_seed`` force (or,
+    under ``engine='auto'``, silently select) the greedy engine.
+    ``telemetry``, ``dep_map``/``col_label`` and fault plans do not:
     both tiers support an attached
     :class:`~repro.telemetry.timeline.MetricsTimeline` and relabelled
-    (ring) guests, so neither forces a fallback.
+    (ring) guests, and a non-empty ``faults`` plan on the dense tier
+    constructs the segmented
+    :class:`~repro.core.dense_faults.FaultedDenseExecutor`.
     """
     from repro.core.executor import GreedyExecutor
 
@@ -855,6 +861,23 @@ def build_executor(
         tie_seed=greedy_kwargs.get("tie_seed"),
     )
     if resolved == "dense":
+        faults = greedy_kwargs.get("faults")
+        if faults is not None and not faults.is_empty:
+            from repro.core.dense_faults import FaultedDenseExecutor
+
+            return FaultedDenseExecutor(
+                host,
+                assignment,
+                program,
+                steps,
+                bandwidth,
+                dep_map=greedy_kwargs.get("dep_map"),
+                col_label=greedy_kwargs.get("col_label"),
+                telemetry=greedy_kwargs.get("telemetry"),
+                faults=faults,
+                policy=greedy_kwargs.get("policy"),
+                reassign=greedy_kwargs.get("reassign"),
+            )
         return DenseExecutor(
             host,
             assignment,

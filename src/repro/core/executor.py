@@ -227,15 +227,24 @@ class GreedyExecutor:
         self.faults = faults
         self.policy = policy or RecoveryPolicy()
         self.reassign = reassign
-        self._faulty = faults is not None and not faults.is_empty
         self._epoch = 0
+        if faults is not None and not faults.is_empty:
+            # Compile first: a non-empty plan can still be effect-free
+            # (every event at/after the declared horizon) and then takes
+            # the plain fault-free loop, bit-identical to no plan.
+            tables = faults.compile(host)
+            self._faulty = not tables.is_effect_free
+        else:
+            tables = None
+            self._faulty = False
         if self._faulty:
-            if dep_map is not None:
+            if dep_map is not None and tables.crash_times:
                 raise ValueError(
-                    "fault injection supports the standard array dependency "
-                    "structure only (dep_map must be None)"
+                    "node-crash injection supports the standard array "
+                    "dependency structure only (dep_map must be None); "
+                    "link-level faults are fine"
                 )
-            self._fault_tables = faults.compile(host)
+            self._fault_tables = tables
             self.fabric.attach_faults(self._fault_tables)
         else:
             self._fault_tables = None

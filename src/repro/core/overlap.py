@@ -177,12 +177,15 @@ def simulate_overlap(
         ``min_copies=2`` explicitly so a single mid-run crash cannot
         destroy the last replica of an interval.
     engine:
-        Execution tier: ``"auto"`` (default) picks the dense fault-free
-        fast path when no faults / recovery policy / forced-dead set is
-        requested and the greedy event-driven engine otherwise;
-        ``"dense"`` / ``"greedy"`` force a tier (``"dense"`` raises if
-        the config needs greedy-only machinery).  Both tiers produce
-        bit-identical results on any config ``auto`` would run densely.
+        Execution tier: ``"auto"`` (default) picks the dense tier —
+        the fault-free fast path, or the segmented
+        :class:`~repro.core.dense_faults.FaultedDenseExecutor` when a
+        non-empty fault plan is scripted — and falls back to the greedy
+        event-driven engine only for tracing, multicast or ``tie_seed``
+        runs; ``"dense"`` / ``"greedy"`` force a tier (``"dense"``
+        raises if the config needs greedy-only machinery).  Both tiers
+        produce bit-identical results on any config ``auto`` would run
+        densely, fault plans included.
     telemetry:
         Optional :class:`~repro.telemetry.timeline.MetricsTimeline` to
         fill with per-step counters (and epoch/recovery spans on fault
@@ -212,9 +215,24 @@ def simulate_overlap(
         engine, faults=faults, policy=policy, forced_dead=forced_dead
     )
     if resolved == "dense":
-        exec_result = DenseExecutor(
-            host, assignment, program, steps, bandwidth, telemetry=telemetry
-        ).run()
+        if faults is not None and not faults.is_empty:
+            from repro.core.dense_faults import FaultedDenseExecutor
+
+            exec_result = FaultedDenseExecutor(
+                host,
+                assignment,
+                program,
+                steps,
+                bandwidth,
+                telemetry=telemetry,
+                faults=faults,
+                policy=policy,
+                reassign=reassign,
+            ).run()
+        else:
+            exec_result = DenseExecutor(
+                host, assignment, program, steps, bandwidth, telemetry=telemetry
+            ).run()
     else:
         exec_result = GreedyExecutor(
             host,

@@ -95,6 +95,8 @@ def simulate_ring(
     verify: bool = True,
     engine: str = "auto",
     telemetry=None,
+    faults=None,
+    policy=None,
 ) -> RingResult:
     """Simulate an ``m``-node unit-delay guest ring on an array host.
 
@@ -102,11 +104,18 @@ def simulate_ring(
     once; >= 2 uses the windowed multi-copy layout (redundancy).
 
     ``engine`` selects the execution tier (``auto``/``dense``/
-    ``greedy``): the dense fast path resolves the ring's ``dep_map``
-    through the same watermark skeleton as the line adjacency, so
-    fault-free ring runs take it by default — bit-identical to greedy.
-    ``telemetry`` (a :class:`~repro.telemetry.timeline.MetricsTimeline`)
-    is supported on both tiers.
+    ``greedy``): the dense skeleton resolves the ring's ``dep_map``
+    through the same watermark indices as the line adjacency, so ring
+    runs take it by default — bit-identical to greedy — including
+    faulted ones (the segmented
+    :class:`~repro.core.dense_faults.FaultedDenseExecutor`).
+    ``faults``/``policy`` script link-level fault injection (a
+    :class:`~repro.netsim.faults.FaultPlan` /
+    :class:`~repro.netsim.faults.RecoveryPolicy`); node crashes are
+    rejected on ring guests — recovery reassignment assumes the
+    standard array dependency structure.  ``telemetry`` (a
+    :class:`~repro.telemetry.timeline.MetricsTimeline`) is supported on
+    both tiers.
     """
     program = program or CounterProgram()
     m = m or host.n
@@ -131,6 +140,8 @@ def simulate_ring(
         dep_map=dep_map,
         col_label=label,
         telemetry=telemetry,
+        faults=faults,
+        policy=policy,
     )
     resolved = "dense" if isinstance(executor, DenseExecutor) else "greedy"
     result = executor.run()

@@ -76,8 +76,10 @@ def _rate_point(cfg: dict) -> dict:
             "recoveries": 0,
             "retries": 0,
             "lost msgs": 0,
-            "slowdown": float("inf"),
-            "degradation": float("inf"),
+            # String sentinel: the sweep cache rejects non-finite floats
+            # (they have no canonical JSON form).
+            "slowdown": "inf",
+            "degradation": "inf",
             "verified": False,
         }
         row["outcome"] = f"deadlock: {str(exc)[:60]}"

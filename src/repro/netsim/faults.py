@@ -117,7 +117,16 @@ class FaultTables:
         self._drops: dict[tuple[int, int], list[int]] = {}
         if n_links is None:
             n_links = n - 1  # linear array: link j joins positions j, j+1
+        horizon = plan.horizon
         for ev in plan.events:
+            if horizon is not None and ev.time >= horizon:
+                # Declared outside the run window: validated but inert.
+                self._validate_target(ev, n, n_links)
+                continue
+            if ev.kind == LINK_JITTER and ev.extra <= 0:
+                # Defensive: a zero-extra jitter window is a no-op.
+                self._validate_target(ev, n, n_links)
+                continue
             if ev.kind == NODE_CRASH:
                 if not 0 <= ev.target < n:
                     raise ValueError(
@@ -144,6 +153,30 @@ class FaultTables:
         for times in self._drops.values():
             times.sort()
 
+    @staticmethod
+    def _validate_target(ev: FaultEvent, n: int, n_links: int) -> None:
+        """Range-check a filtered (inert) event so bad targets still fail."""
+        if ev.kind == NODE_CRASH:
+            if not 0 <= ev.target < n:
+                raise ValueError(f"crash target {ev.target} outside host 0..{n - 1}")
+        elif not 0 <= ev.target < n_links:
+            raise ValueError(
+                f"link target {ev.target} outside links 0..{n_links - 1}"
+            )
+
+    @property
+    def is_effect_free(self) -> bool:
+        """True when the compiled tables can never alter a run.
+
+        A non-empty plan can still compile to nothing — every event at
+        or after the plan's declared horizon, or jitter windows that add
+        zero extra delay.  Both engines treat such tables exactly like
+        an empty plan, so effect-free runs stay on the fast path.
+        """
+        return not (
+            self.crash_times or self._outages or self._jitters or self._drops
+        )
+
     def link_outcome(self, link: int, direction: int, t: int):
         """Fate of a pebble injected into ``(link, direction)`` at ``t``:
         :data:`LOST`, or the extra delay (>= 0) to add to its arrival."""
@@ -166,6 +199,15 @@ class FaultTables:
         """Whether any link-level fault is scripted."""
         return bool(self._outages or self._jitters or self._drops)
 
+    def faulty_directions(self) -> set[tuple[int, int]]:
+        """Directed links ``(link, direction)`` with any scripted fault.
+
+        Injections on every other directed link can never be lost or
+        inflated, so an executor may take a fault-check-free fast path
+        for them (the faulted dense tier does).
+        """
+        return set(self._outages) | set(self._jitters) | set(self._drops)
+
     def is_link_down(self, link: int, direction: int, t: int) -> bool:
         """Whether ``(link, direction)`` is inside an outage window at
         ``t``.
@@ -180,6 +222,54 @@ class FaultTables:
                 return True
         return False
 
+    def extra_delay(self, link: int, direction: int, t: int) -> int:
+        """Jitter inflation for an injection at ``t`` (pure query).
+
+        Sums every jitter window covering ``t`` on ``(link,
+        direction)``; like :meth:`is_link_down` it never consumes
+        one-shot drops, so it is safe to probe repeatedly.  Windows are
+        half-open ``[t0, t1)``.
+        """
+        extra = 0
+        for t0, t1, e in self._jitters.get((link, direction), ()):
+            if t0 <= t < t1:
+                extra += e
+        return extra
+
+    def is_crashed(self, position: int, t: int) -> bool:
+        """Whether ``position`` has crashed at or before step ``t``.
+
+        Crash times are closed on the left: a node scripted to crash at
+        ``t0`` is dead for every ``t >= t0`` (crashes are permanent).
+        """
+        t0 = self.crash_times.get(position)
+        return t0 is not None and t >= t0
+
+    def boundaries(self) -> list[int]:
+        """Sorted unique times where the fault environment changes.
+
+        These are the segment boundaries of the faulted dense tier:
+        crash times, outage/jitter window opens and (finite) closes,
+        and one-shot drop arm times.  Between consecutive boundaries
+        the compiled tables are time-invariant (modulo drop
+        consumption), so an executor may replay the stretch with the
+        fault-free vectorised skeleton and checkpoint at each edge.
+        """
+        times: set[int] = set(self.crash_times.values())
+        for windows in self._outages.values():
+            for t0, t1 in windows:
+                times.add(t0)
+                if t1 != _INF:
+                    times.add(int(t1))
+        for windows in self._jitters.values():
+            for t0, t1, _e in windows:
+                times.add(t0)
+                if t1 != _INF:
+                    times.add(int(t1))
+        for drops in self._drops.values():
+            times.update(drops)
+        return sorted(times)
+
 
 @dataclass
 class FaultPlan:
@@ -192,12 +282,30 @@ class FaultPlan:
 
     events: list[FaultEvent] = field(default_factory=list)
     seed: int | None = None
+    #: Declared run window: events at/after ``horizon`` are treated as
+    #: no-ops when the plan is compiled (see :meth:`declare_horizon`).
+    horizon: int | None = None
 
     # -- construction ---------------------------------------------------
     @classmethod
     def empty(cls) -> "FaultPlan":
         """A plan with no events (bit-identical to running fault-free)."""
         return cls([])
+
+    def declare_horizon(self, horizon: int) -> "FaultPlan":
+        """Declare the run window ``[0, horizon)`` (chainable).
+
+        Compiling the plan then drops every event scheduled at or after
+        ``horizon``: the caller asserts those events fall outside the
+        run and must not perturb it (even if the faulted run itself
+        overshoots the declared window).  A plan whose events are *all*
+        filtered compiles to effect-free tables and both engines treat
+        it exactly like an empty plan.
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = horizon
+        return self
 
     def crash(self, position: int, time: int) -> "FaultPlan":
         """Script a node crash (chainable)."""
@@ -261,7 +369,7 @@ class FaultPlan:
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
         rng = np.random.default_rng(seed)
-        plan = cls([], seed=seed)
+        plan = cls([], seed=seed, horizon=horizon)
         n_links = max(0, n - 1)
         for p in range(n):
             if rng.random() < node_crash_rate:

@@ -44,6 +44,7 @@ from __future__ import annotations
 import atexit
 import hashlib
 import json
+import math
 import os
 import pathlib
 import sys
@@ -61,15 +62,62 @@ _SEED_MOD = 2**63
 _CHUNKS_PER_WORKER = 4
 
 
+def _name_non_finite(value, path: str = "$") -> str | None:
+    """Key path of the first non-finite float in ``value``, or None."""
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return path
+        return None
+    if isinstance(value, dict):
+        for k, v in value.items():
+            found = _name_non_finite(v, f"{path}.{k}")
+            if found is not None:
+                return found
+        return None
+    if isinstance(value, (list, tuple)):
+        for i, v in enumerate(value):
+            found = _name_non_finite(v, f"{path}[{i}]")
+            if found is not None:
+                return found
+    return None
+
+
+def _reject_non_finite(value, where: str) -> None:
+    """Raise a :class:`ValueError` naming the first NaN/Infinity path.
+
+    Returns silently when ``value`` holds no non-finite float (the
+    caller's original error was about something else — re-raise it).
+    """
+    path = _name_non_finite(value)
+    if path is None:
+        return
+    raise ValueError(
+        f"{where} contains a non-finite float at {path}: NaN/Infinity "
+        "have no canonical JSON form (Python would emit non-standard "
+        "tokens that happen to survive a local round-trip while other "
+        "readers choke).  Encode the sentinel explicitly — e.g. the "
+        'string "inf" — before returning it.'
+    )
+
+
 def canonical_json(value) -> str:
     """Deterministic JSON encoding (sorted keys, no whitespace).
 
     The canonical form is the basis of both cache keys and derived
     seeds, so it must be stable across Python versions and platforms;
     plain ``json`` with sorted keys is.  Non-JSON types are a
-    ``TypeError`` — configs are data, not objects.
+    ``TypeError`` — configs are data, not objects.  Non-finite floats
+    are a ``ValueError`` naming the offending key path: Python's
+    ``NaN``/``Infinity`` tokens are not JSON, so letting them through
+    would bake non-portable text into cache keys and stored results.
     """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError:
+        _reject_non_finite(value, "value")
+        raise  # some other encoding error (e.g. circular reference)
 
 
 def config_hash(task: str, version: str, config: dict) -> str:
@@ -127,8 +175,14 @@ class SweepCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        entry = {"config": config, "result": result}
+        try:
+            text = json.dumps(entry, allow_nan=False)
+        except ValueError:
+            _reject_non_finite(entry, "sweep cache entry")
+            raise
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump({"config": config, "result": result}, fh)
+            fh.write(text)
         os.replace(tmp, path)
 
     def clear(self) -> int:
@@ -223,31 +277,52 @@ def _run_chunk(fn: Callable[[dict], object], payload: str) -> str:
         "wall": time.perf_counter() - t0,
     }
     try:
-        return json.dumps(envelope)
-    except (TypeError, ValueError) as exc:
+        return json.dumps(envelope, allow_nan=False)
+    except ValueError:
+        _reject_non_finite(out, "sweep task result")
+        raise
+    except TypeError as exc:
         raise TypeError(
             f"sweep task returned a non-JSON-serialisable result: {exc}"
         ) from exc
 
 
-class _Progress:
-    """Coarse per-config progress/ETA line on a stream."""
+class ProgressMeter:
+    """Coarse per-config progress/ETA line on a stream.
+
+    The ETA divides elapsed time by *computed* (non-cached) steps only:
+    cache hits finish in microseconds, so counting them as work — as
+    the first version did — made a warm-cache sweep's ETA wildly
+    optimistic the moment the first real config started.  With no
+    computed step yet there is no per-step cost to extrapolate, so no
+    ETA is shown.
+
+    An empty grid is announced as a complete ``0/0`` line (with its
+    terminating newline) at construction — :meth:`step` never fires, so
+    the line cannot come from there, and leaving the stream mid-line
+    corrupts whatever the caller prints next.
+    """
 
     def __init__(self, total: int, label: str, stream) -> None:
         self.total = total
         self.label = label
         self.stream = stream
         self.done = 0
+        self.computed = 0
         self.t0 = time.perf_counter()
+        if total == 0:
+            self.stream.write(f"[sweep {label}] 0/0 elapsed 0.0s\n")
+            self.stream.flush()
 
     def step(self, cached: bool = False) -> None:
         self.done += 1
+        if not cached:
+            self.computed += 1
         elapsed = time.perf_counter() - self.t0
-        if self.done < self.total:
-            eta = elapsed / self.done * (self.total - self.done)
+        eta_txt = ""
+        if self.done < self.total and self.computed:
+            eta = elapsed / self.computed * (self.total - self.done)
             eta_txt = f" eta {eta:.1f}s"
-        else:
-            eta_txt = ""
         tag = " (cached)" if cached else ""
         self.stream.write(
             f"\r[sweep {self.label}] {self.done}/{self.total} "
@@ -334,8 +409,8 @@ class SweepRunner:
         pending: list[int] = []
         hits = 0
         prog = (
-            _Progress(len(configs), fn.__qualname__.lstrip("_"), self.stream)
-            if self.progress and configs
+            ProgressMeter(len(configs), fn.__qualname__.lstrip("_"), self.stream)
+            if self.progress
             else None
         )
         prof = self.profile
@@ -423,8 +498,11 @@ class SweepRunner:
         if result is None:
             raise ValueError("sweep tasks must not return None (reserved for cache misses)")
         try:
-            return json.loads(json.dumps(result))
-        except (TypeError, ValueError) as exc:
+            return json.loads(json.dumps(result, allow_nan=False))
+        except ValueError:
+            _reject_non_finite(result, "sweep task result")
+            raise
+        except TypeError as exc:
             raise TypeError(
                 f"sweep task returned a non-JSON-serialisable result: {exc}"
             ) from exc

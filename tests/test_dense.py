@@ -454,12 +454,14 @@ def test_resolve_engine_auto_prefers_dense():
 
 
 def test_resolve_engine_fallback_triggers():
+    # Since the segmented tier, faults/policy/forced_dead no longer
+    # force greedy — only tracing, multicast and tie_seed remain.
     plan = FaultPlan.random(16, seed=1, horizon=32, node_crash_rate=0.5)
     assert not plan.is_empty
-    assert resolve_engine("auto", faults=plan) == "greedy"
+    assert resolve_engine("auto", faults=plan) == "dense"
     assert resolve_engine("auto", faults=FaultPlan.empty()) == "dense"
-    assert resolve_engine("auto", policy=RecoveryPolicy()) == "greedy"
-    assert resolve_engine("auto", forced_dead={3}) == "greedy"
+    assert resolve_engine("auto", policy=RecoveryPolicy()) == "dense"
+    assert resolve_engine("auto", forced_dead={3}) == "dense"
     assert resolve_engine("auto", trace=object()) == "greedy"
     assert resolve_engine("auto", multicast=True) == "greedy"
     assert resolve_engine("auto", tie_seed=7) == "greedy"
@@ -467,24 +469,32 @@ def test_resolve_engine_fallback_triggers():
 
 def test_resolve_engine_dense_refuses_greedy_features():
     plan = FaultPlan.random(16, seed=1, horizon=32, node_crash_rate=0.5)
-    with pytest.raises(ValueError, match="fault injection"):
-        resolve_engine("dense", faults=plan)
-    with pytest.raises(ValueError, match="recovery policy"):
-        resolve_engine("dense", policy=RecoveryPolicy())
+    # Faults and recovery policies are dense-capable now.
+    assert resolve_engine("dense", faults=plan) == "dense"
+    assert resolve_engine("dense", policy=RecoveryPolicy()) == "dense"
+    with pytest.raises(ValueError, match="tracing"):
+        resolve_engine("dense", trace=object())
+    with pytest.raises(ValueError, match="multicast"):
+        resolve_engine("dense", multicast=True)
+    with pytest.raises(ValueError, match="scheduling jitter"):
+        resolve_engine("dense", tie_seed=7)
     with pytest.raises(ValueError):
         resolve_engine("nope")
 
 
-def test_simulate_overlap_auto_falls_back_on_faults():
+def test_simulate_overlap_auto_runs_faults_densely():
     host = _random_host(32, 3.0, 30)
     plan = FaultPlan.random(
         host.n, seed=4, horizon=64, link_outage_rate=0.1
     )
     assert not plan.is_empty
     res = simulate_overlap(host, steps=6, faults=plan, verify=False)
-    assert res.engine == "greedy"
-    with pytest.raises(ValueError):
-        simulate_overlap(host, steps=6, faults=plan, engine="dense")
+    assert res.engine == "dense"
+    greedy = simulate_overlap(
+        host, steps=6, faults=plan, verify=False, engine="greedy"
+    )
+    assert greedy.engine == "greedy"
+    assert _stats_tuple(res.exec_result) == _stats_tuple(greedy.exec_result)
 
 
 def test_build_executor_dispatch():

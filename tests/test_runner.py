@@ -208,3 +208,86 @@ class TestWorkerCountDeterminism:
         with using(SweepRunner(workers=4)):
             parallel = e1(quick=True)
         assert serial.to_json() == parallel.to_json()
+
+
+def _nan_task(cfg: dict) -> dict:
+    import math
+
+    return {"rows": [{"ok": 1.0}, {"ok": 2.0}, {"ok": 3.0}, {"slowdown": math.nan}]}
+
+
+class TestNonFiniteRejection:
+    """NaN/Infinity have no canonical JSON form; the cache boundary
+    rejects them loudly, naming the offending key path."""
+
+    def test_canonical_json_rejects_nan_with_key_path(self):
+        with pytest.raises(ValueError, match=r"\$\.rows\[3\]\.slowdown"):
+            canonical_json({"rows": [1.0, 2.0, 3.0, {"slowdown": float("nan")}]})
+
+    def test_canonical_json_rejects_infinity(self):
+        with pytest.raises(ValueError, match=r"\$\.degradation"):
+            canonical_json({"degradation": float("inf")})
+        with pytest.raises(ValueError, match=r"\$\[1\]"):
+            canonical_json([0.0, float("-inf")])
+
+    def test_canonical_json_accepts_finite_floats(self):
+        assert canonical_json({"x": 1.5}) == '{"x":1.5}'
+
+    def test_inline_task_result_rejected(self):
+        with pytest.raises(ValueError, match=r"\$\.rows\[3\]\.slowdown"):
+            SweepRunner().map(_nan_task, [{"x": 1}])
+
+    def test_parallel_task_result_rejected(self):
+        with pytest.raises(ValueError, match=r"sweep task result"):
+            SweepRunner(workers=2).map(_nan_task, [{"x": i} for i in range(4)])
+
+    def test_cache_put_rejected(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        with pytest.raises(ValueError, match=r"\$\.result\.v"):
+            cache.put("ab" * 32, {"x": 1}, {"v": float("nan")})
+        assert len(cache) == 0  # nothing half-written
+
+
+class TestProgressMeter:
+    """ETA must extrapolate from computed (non-cached) steps only, and
+    the meter always terminates its line — even for an empty grid."""
+
+    def _lines(self, stream):
+        return stream.getvalue()
+
+    def test_eta_ignores_cached_steps(self):
+        import io
+
+        from repro.runner import ProgressMeter
+
+        meter = ProgressMeter(4, "t", io.StringIO())
+        # A burst of instant cache hits must not fabricate an ETA.
+        meter.step(cached=True)
+        meter.step(cached=True)
+        out = meter.stream.getvalue()
+        assert "eta" not in out  # no computed step yet: no estimate
+        meter.t0 -= 10.0  # pretend the first computed step took ~10s
+        meter.step()
+        eta_line = meter.stream.getvalue().split("\r")[-1]
+        assert "eta" in eta_line
+        # Per-step cost comes from the 1 computed step (~10s), not from
+        # done=3 steps (~3.3s): the remaining step costs ~10s.
+        eta = float(eta_line.split("eta ")[1].split("s")[0])
+        assert eta > 5.0
+
+    def test_empty_grid_writes_terminated_line(self):
+        import io
+
+        stream = io.StringIO()
+        runner = SweepRunner(progress=True, stream=stream)
+        assert runner.map(_square, []) == []
+        out = stream.getvalue()
+        assert out.endswith("\n")
+        assert "0/0" in out
+
+    def test_full_grid_still_terminates_line(self):
+        import io
+
+        stream = io.StringIO()
+        SweepRunner(progress=True, stream=stream).map(_square, [{"x": 1}])
+        assert stream.getvalue().endswith("\n")
