@@ -29,11 +29,18 @@ Run after ``benchmarks/bench_sweep.py`` and ``benchmarks/bench_dense.py``
    *graph* sub-records (scalar fault handling and per-boundary
    checkpoints eat into the vectorisation win, hence the lower
    floor — it applies smoke or not, like every ratio gate).
-6. **differential tests** — the dense-vs-greedy bit-identical suites
+6. **delta replay** — ``BENCH_delta.json`` must show the checkpoint
+   suffix-replay path >= 2x faster than the full-recompute miss path
+   on the one-knob edit grid (>= 1.2x on smoke records, whose tiny
+   runs spend comparatively more time in cache IO), with every edit
+   served by a replay (zero fallbacks) and the replayed rows asserted
+   identical to full recomputes.
+7. **differential tests** — the dense-vs-greedy bit-identical suites
    (``tests/test_dense.py`` fault-free, ``tests/test_dense_faults.py``
-   faulted) must run with zero skips; a skipped differential test
-   would let the fast path drift from the reference silently.
-   ``--no-tests`` omits this (e.g. when pytest is absent).
+   faulted) and the delta-replay-vs-recompute suite
+   (``tests/test_delta.py``) must run with zero skips; a skipped
+   differential test would let the fast path drift from the reference
+   silently.  ``--no-tests`` omits this (e.g. when pytest is absent).
 
 Exit status 0 = all gates pass.
 """
@@ -61,6 +68,11 @@ MIN_LINE_OVER_GREEDY = 6.26
 # checkpoints eat into the vectorisation win, so the floor is lower
 # than the fault-free 3x.
 MIN_FAULTED_OVER_GREEDY = 2.0
+# Delta suffix-replay over the full-recompute miss path on the
+# one-knob edit grid; smoke workloads are cache-IO-bound, so only a
+# sanity floor applies there.
+MIN_DELTA_SPEEDUP = 2.0
+MIN_DELTA_SPEEDUP_SMOKE = 1.2
 
 
 def _fail(msg: str) -> bool:
@@ -166,6 +178,45 @@ def check_faulted(payload: dict) -> bool:
     return failed
 
 
+def check_delta(payload: dict) -> bool:
+    """Suffix-replay gates over ``BENCH_delta.json``.
+
+    Three properties, all load-bearing: the replay must actually be
+    faster than recomputing (else the machinery is dead weight), every
+    edit in the one-knob grid must be served by a replay (a fallback
+    means the blast-radius rules or the checkpoint coverage silently
+    degraded), and the rows must be bit-identical to full recomputes.
+    """
+    rec = (payload.get("sections") or {}).get("one_knob")
+    if not rec:
+        return _fail(
+            "BENCH_delta.json has no 'one_knob' section — the delta "
+            "replay path is unmeasured"
+        )
+    failed = False
+    floor = MIN_DELTA_SPEEDUP_SMOKE if rec.get("smoke") else MIN_DELTA_SPEEDUP
+    speedup = rec.get("speedup")
+    if speedup is None or speedup < floor:
+        failed = _fail(
+            f"delta replay only {speedup}x over full recompute (< {floor}x)"
+        )
+    else:
+        print(f"[bench_compare] delta replay {speedup}x full recompute: ok")
+    hits = rec.get("delta_hits", 0)
+    grid = rec.get("grid", 0)
+    fallbacks = rec.get("delta_fallbacks", 0)
+    if hits < grid or fallbacks:
+        failed = _fail(
+            f"delta grid: {hits}/{grid} replays, {fallbacks} fallback(s) "
+            "— every one-knob edit must be served by a suffix replay"
+        )
+    else:
+        print(f"[bench_compare] delta grid: {hits}/{grid} replays, 0 fallbacks: ok")
+    if not rec.get("results_identical", False):
+        failed = _fail("delta run did not assert replayed == recomputed rows")
+    return failed
+
+
 def check_throughput(payload: dict) -> bool:
     failed = False
     records = {"executor": payload.get("executor", {})}
@@ -199,6 +250,7 @@ def check_differential_tests() -> bool:
         "pytest",
         "tests/test_dense.py",
         "tests/test_dense_faults.py",
+        "tests/test_delta.py",
         "-q",
         "-rs",
     ]
@@ -242,6 +294,11 @@ def main(argv: list[str] | None = None) -> int:
         help="path to BENCH_dense.json (default: repo root)",
     )
     parser.add_argument(
+        "--delta",
+        default=str(REPO_ROOT / "BENCH_delta.json"),
+        help="path to BENCH_delta.json (default: repo root)",
+    )
+    parser.add_argument(
         "--no-tests",
         action="store_true",
         help="skip running the differential test suite",
@@ -269,6 +326,13 @@ def main(argv: list[str] | None = None) -> int:
         dense_payload = json.loads(dense_path.read_text())
         failed |= check_dense(dense_payload)
         failed |= check_faulted(dense_payload)
+    delta_path = pathlib.Path(args.delta)
+    if not delta_path.exists():
+        failed |= _fail(
+            f"{delta_path} not found — run benchmarks/bench_delta.py first"
+        )
+    else:
+        failed |= check_delta(json.loads(delta_path.read_text()))
     if not args.no_tests:
         failed |= check_differential_tests()
 

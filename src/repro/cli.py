@@ -66,6 +66,8 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
         "cache_dir": None if args.no_cache else default_cache_dir(),
         "progress": args.progress,
         "profile": args.telemetry,
+        "delta": not args.no_delta,
+        "cache_limit": args.cache_limit,
     }
 
 
@@ -249,6 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache",
             action="store_true",
             help=f"disable the sweep result cache ({default_cache_dir()}/)",
+        )
+        p.add_argument(
+            "--no-delta",
+            action="store_true",
+            help="disable checkpoint suffix-replay for near-miss cached "
+            "configs (delta-driven sweeps); every miss recomputes fully",
+        )
+        p.add_argument(
+            "--cache-limit",
+            type=int,
+            default=None,
+            metavar="N",
+            help="bound the sweep cache to N entries (oldest evicted "
+            "first; default unbounded)",
         )
         p.add_argument(
             "--progress",

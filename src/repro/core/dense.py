@@ -67,6 +67,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.assignment import Assignment
+from repro.core.checkpoint import ExecutorCheckpoint
 from repro.machine.database import Database
 from repro.machine.guest import GuestArray
 from repro.machine.host import HostArray
@@ -165,7 +166,18 @@ class DenseExecutor:
         "col_label",
         "_relabelled",
         "_ext_cols",
+        "checkpoint_stride",
+        "checkpoints",
+        "first_top_t",
+        "_resume_from",
     )
+
+    def _expected_ckpt_kind(self) -> str:
+        """Checkpoint ``kind`` this executor's run path would capture —
+        and therefore the only kind it can restore.  The faulted
+        subclass answers per its compiled plan (an effect-free plan
+        falls through to the fault-free path)."""
+        return "dense"
 
     def __init__(
         self,
@@ -177,6 +189,7 @@ class DenseExecutor:
         dep_map: dict[int, tuple[int, int]] | None = None,
         col_label=None,
         telemetry=None,
+        checkpoint_stride: int | None = None,
     ) -> None:
         if assignment.n != host.n:
             raise ValueError(
@@ -212,7 +225,65 @@ class DenseExecutor:
         # attached timeline is fed by a post-pass over them after the
         # timed simulation — zero overhead inside the loop either way.
         self.telemetry = telemetry
+        if checkpoint_stride is not None and checkpoint_stride < 1:
+            raise ValueError("checkpoint_stride must be >= 1")
+        # Periodic full snapshots of the timing skeleton: one
+        # ExecutorCheckpoint each time the loop clock crosses a stride
+        # mark.  None = no captures (zero overhead on the hot path).
+        self.checkpoint_stride = checkpoint_stride
+        self.checkpoints: list = []
+        # First host step at which any position's *own* watermark
+        # reached T — the divergence bound for horizon-extension deltas
+        # (no scheduling decision can consult "watermark == T?" before
+        # it).  Filled by the timing loop.
+        self.first_top_t: int | None = None
+        self._resume_from = None
         self._build_subscriptions()
+
+    def restore(self, checkpoint) -> "DenseExecutor":
+        """Arm this (freshly constructed) executor to resume mid-run.
+
+        The next :meth:`run` reconstitutes the snapshot's watermark
+        arrays, link-slot state and counters, seeds the event buckets
+        with the pending events, and replays only the suffix — finishing
+        bit-identically to an uninterrupted run, provided the
+        checkpoint's prefix is valid for this executor's config (the
+        caller's contract; :mod:`repro.delta` derives it from
+        blast-radius rules).  Horizon *extensions* are supported when
+        the snapshot predates ``first_top``; shrinks are not.
+        Returns ``self`` for chaining.
+        """
+        expected = self._expected_ckpt_kind()
+        if checkpoint.kind != expected:
+            # Signalled as DeltaUnsupported (not ValueError): a fault
+            # edit can legitimately flip a config between the faulted
+            # and effect-free paths, whose snapshots are incompatible —
+            # the delta layer should fall back to a full recompute.
+            from repro.delta import DeltaUnsupported
+
+            raise DeltaUnsupported(
+                f"cannot restore a {checkpoint.kind!r} checkpoint into "
+                f"{type(self).__name__} (expects {expected!r})"
+            )
+        if checkpoint.steps < 1:
+            raise ValueError("checkpoint predates resume support (steps=0)")
+        if checkpoint.steps > self.T:
+            raise ValueError(
+                f"cannot restore a T={checkpoint.steps} checkpoint into a "
+                f"shorter T={self.T} run"
+            )
+        if checkpoint.steps != self.T and checkpoint.first_top is not None:
+            raise ValueError(
+                "checkpoint is past the horizon-extension divergence point "
+                f"(first_top={checkpoint.first_top})"
+            )
+        if self.telemetry is not None and checkpoint.telemetry is None:
+            raise ValueError(
+                "cannot resume with telemetry attached: the checkpoint was "
+                "captured without a timeline snapshot"
+            )
+        self._resume_from = checkpoint
+        return self
 
     def _deps(self, c: int) -> tuple[int, int]:
         """Lateral source columns of ``c`` (left-like, right-like)."""
@@ -551,11 +622,96 @@ class DenseExecutor:
             buckets[arr].append((_DONE, p, best_i, best_t))
             pending_events += 1
 
-        for p in self.used:
-            try_start(p, 0)
+        ck = self._resume_from
+        first_top: int | None = None
+        if ck is None:
+            for p in self.used:
+                try_start(p, 0)
+            now = 0
+        else:
+            # Resume: overwrite the freshly built arrays with the
+            # checkpointed prefix state and seed the buckets with the
+            # pending events, preserving their captured append order.
+            for p in self.used:
+                saved = ck.watermarks[p]
+                w = W_of[p]
+                # The last slot is the virtual boundary watermark,
+                # pinned to *this* run's T (horizon extensions re-pin).
+                for i in range(len(saved) - 1):
+                    w[i] = saved[i]
+                busy[p] = ck.busy[p]
+            rs, ru, ls, lu = ck.link_state
+            r_slot[:] = rs
+            r_used[:] = ru
+            l_slot[:] = ls
+            l_used[:] = lu
+            injections = ck.injections
+            n_pebbles = ck.pebbles
+            n_messages = ck.messages
+            makespan = ck.makespan
+            first_top = ck.first_top
+            # Re-base pending work onto this run's horizon: every used
+            # column gained (T - ck.steps) rows relative to the capture.
+            remaining = ck.remaining + sum(k_of[p] for p in self.used) * (
+                T - ck.steps
+            )
+            for t, evs in ck.events:
+                if t >= len(buckets):
+                    buckets.extend([] for _ in range(t - len(buckets) + 1))
+                buckets[t].extend(evs)
+                pending_events += len(evs)
+            now = ck.time
 
-        now = 0
+        stride = self.checkpoint_stride
+        next_mark = stride * (now // stride + 1) if stride is not None else None
+
+        def capture(at: int) -> None:
+            """Snapshot the full loop state with processed times < at."""
+            events = []
+            for t in range(at, len(buckets)):
+                evs = buckets[t]
+                if evs:
+                    events.append((t, list(evs)))
+            tl_snap = None
+            if self.telemetry is not None:
+                tl_snap = self._telemetry_prefix(
+                    buckets,
+                    at,
+                    base_snapshot=None if ck is None else ck.telemetry,
+                    start=0 if ck is None else ck.time,
+                )
+            self.checkpoints.append(
+                ExecutorCheckpoint(
+                    time=at,
+                    epoch=0,
+                    label="stride",
+                    remaining=remaining,
+                    makespan=makespan,
+                    progress=n_pebbles,
+                    pebbles=n_pebbles,
+                    messages=n_messages,
+                    injections=injections,
+                    lost_messages=0,
+                    retries=0,
+                    watermarks={
+                        p: [int(x) for x in W_of[p]] for p in self.used
+                    },
+                    busy={p: bool(busy[p]) for p in self.used},
+                    link_state=[
+                        list(r_slot), list(r_used), list(l_slot), list(l_used)
+                    ],
+                    steps=T,
+                    kind="dense",
+                    first_top=first_top,
+                    events=events,
+                    telemetry=tl_snap,
+                )
+            )
+
         while pending_events:
+            if next_mark is not None and now >= next_mark:
+                capture(now)
+                next_mark = stride * (now // stride + 1)
             bucket = buckets[now]
             if not bucket:
                 now += 1
@@ -569,6 +725,8 @@ class DenseExecutor:
                     remaining -= 1
                     if now > makespan:
                         makespan = now
+                    if t == T and first_top is None:
+                        first_top = now
                     c = lo_of[p] + i
                     subs = subscribers_get((p, c))
                     if subs:
@@ -741,27 +899,60 @@ class DenseExecutor:
 
         if remaining:  # pragma: no cover - the skeleton cannot wedge
             raise RuntimeError(f"{remaining} pebbles never computed")
+        self.first_top_t = first_top
         stats.pebbles = n_pebbles
         stats.messages = n_messages
         stats.pebble_hops = injections
         if self.telemetry is not None:
-            self._feed_telemetry(buckets, makespan)
+            self._feed_telemetry(
+                buckets,
+                makespan,
+                start=0 if ck is None else ck.time,
+                snapshot=None if ck is None else ck.telemetry,
+            )
         return makespan
 
-    def _feed_telemetry(self, buckets: list[list[tuple]], makespan: int) -> None:
+    def _feed_telemetry(
+        self,
+        buckets: list[list[tuple]],
+        makespan: int,
+        start: int = 0,
+        snapshot: dict | None = None,
+    ) -> None:
         """Replay the retained event buckets into the attached timeline.
 
         Runs *after* the timed loop (buckets are append-only, so they
-        still hold the complete event history).  Produces exactly the
-        per-step counters the instrumented greedy loop records: a
-        ``_DONE`` at step ``now`` is one pebble completion (and one
-        message launch per subscriber of that column); a ``_MSG`` at
-        step ``now`` is one link arrival whose injection slot was
-        ``now - delay`` of the link it arrived on (dense computes
-        arrivals as ``slot + delay``, so the subtraction is exact).
+        still hold the complete event history).  On a resumed run the
+        prefix history comes from the checkpoint's timeline
+        ``snapshot`` and only buckets from ``start`` on are replayed
+        (buckets before the resume point are empty in that run).
         """
         tl = self.telemetry
+        if snapshot is not None:
+            tl.load_snapshot(snapshot)
         tl.meta.setdefault("engine", "dense")
+        if snapshot is None:
+            tl.spans.begin("epoch", 0, track="epochs", epoch=0)
+        self._replay_buckets(tl, buckets, start)
+        tl.spans.close_all(makespan)
+
+    def _replay_buckets(
+        self,
+        tl,
+        buckets: list[list[tuple]],
+        start: int = 0,
+        stop: int | None = None,
+    ) -> None:
+        """Feed bucket events in ``[start, stop)`` into timeline ``tl``.
+
+        Produces exactly the per-step counters the instrumented greedy
+        loop records: a ``_DONE`` at step ``now`` is one pebble
+        completion (and one message launch per subscriber of that
+        column); a ``_MSG`` at step ``now`` is one link arrival whose
+        injection slot was ``now - delay`` of the link it arrived on
+        (dense computes arrivals as ``slot + delay``, so the
+        subtraction is exact).
+        """
         delays = self.host.link_delays
         subscribers_get = self.subscribers.get
         # A _MSG event carries its final target, not its travel
@@ -772,13 +963,13 @@ class DenseExecutor:
             for p in subs:
                 provider_of[(p, c)] = q
         lo_of = {p: self.assignment.ranges[p][0] for p in self.used}
-        tl.spans.begin("epoch", 0, track="epochs", epoch=0)
         pebble = tl.pebble
         send = tl.send
         message = tl.message
         deliver = tl.deliver
-        for now, bucket in enumerate(buckets):
-            for ev in bucket:
+        hi = len(buckets) if stop is None else min(stop, len(buckets))
+        for now in range(start, hi):
+            for ev in buckets[now]:
                 if ev[0] == _DONE:
                     _, p, i, t = ev
                     c = lo_of[p] + i
@@ -795,7 +986,31 @@ class DenseExecutor:
                         rightward = dst > pos
                     j = pos - 1 if rightward else pos
                     send(now - delays[j], now)
-        tl.spans.close_all(makespan)
+
+    def _telemetry_prefix(
+        self,
+        buckets: list[list[tuple]],
+        stop: int,
+        base_snapshot: dict | None = None,
+        start: int = 0,
+    ) -> dict:
+        """Timeline snapshot of the run's history strictly before
+        ``stop`` (checkpoint capture helper).
+
+        For a resumed run the history before this run's own buckets is
+        the ``base_snapshot`` it was restored from; ``start`` is its
+        resume point.
+        """
+        from repro.telemetry.timeline import MetricsTimeline
+
+        tmp = MetricsTimeline()
+        if base_snapshot is not None:
+            tmp.load_snapshot(base_snapshot)
+        else:
+            tmp.spans.begin("epoch", 0, track="epochs", epoch=0)
+        tmp.meta.setdefault("engine", "dense")
+        self._replay_buckets(tmp, buckets, start, stop)
+        return tmp.snapshot()
 
     def run(self):
         """Execute; returns an :class:`~repro.core.executor.ExecResult`

@@ -41,13 +41,16 @@ ring and graph topologies.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from bisect import bisect_right
 
 import numpy as np
 
+from repro.core.checkpoint import ExecutorCheckpoint
 from repro.core.dense import _VEC_MIN_COLS, DenseExecutor
 from repro.netsim.faults import RecoveryPolicy
 from repro.netsim.stats import SimStats
+
+__all__ = ["ExecutorCheckpoint", "FaultedDenseExecutor"]
 
 # Bucket-event kinds (mirrors the greedy fault-mode event kinds).
 _DONE = 0
@@ -57,53 +60,6 @@ _RESUME = 3
 _CHECK = 4
 _REQ = 5
 _WATCH = 6
-
-
-@dataclass
-class ExecutorCheckpoint:
-    """A complete integer snapshot of a faulted dense run at one time.
-
-    Captured at every fault boundary the run crosses and at each epoch
-    resume.  Holds everything the timing skeleton needs to resume from
-    ``time`` — watermark arrays, per-position busy flags, directed-link
-    slot state, stream records, counters — so an incremental
-    re-simulation can replay only the suffix after an edited fault
-    event (the roadmap item this structure exists for).
-    """
-
-    time: int
-    epoch: int
-    label: str
-    remaining: int
-    makespan: int
-    progress: int
-    pebbles: int
-    messages: int
-    injections: int
-    lost_messages: int
-    retries: int
-    #: position -> list of watermarks (own columns, ext slots, virtual).
-    watermarks: dict[int, list[int]] = field(default_factory=dict)
-    busy: dict[int, bool] = field(default_factory=dict)
-    #: flat per-directed-link slot state [r_slot, r_used, l_slot, l_used].
-    link_state: list[list[int]] = field(default_factory=list)
-    dead: set[int] = field(default_factory=set)
-    #: (subscriber, column) -> [provider, attempts, retries, last_t].
-    streams: dict[tuple[int, int], list] = field(default_factory=dict)
-
-    def summary(self) -> dict:
-        """Headline numbers (JSON-ready; arrays omitted)."""
-        return {
-            "time": self.time,
-            "epoch": self.epoch,
-            "label": self.label,
-            "remaining": self.remaining,
-            "pebbles": self.pebbles,
-            "messages": self.messages,
-            "lost_messages": self.lost_messages,
-            "retries": self.retries,
-            "dead": sorted(self.dead),
-        }
 
 
 class FaultedDenseExecutor(DenseExecutor):
@@ -130,6 +86,7 @@ class FaultedDenseExecutor(DenseExecutor):
         faults=None,
         policy=None,
         reassign=None,
+        checkpoint_stride=None,
     ) -> None:
         super().__init__(
             host,
@@ -140,6 +97,7 @@ class FaultedDenseExecutor(DenseExecutor):
             dep_map=dep_map,
             col_label=col_label,
             telemetry=telemetry,
+            checkpoint_stride=checkpoint_stride,
         )
         self.faults = faults
         self.policy = policy or RecoveryPolicy()
@@ -155,8 +113,15 @@ class FaultedDenseExecutor(DenseExecutor):
                 )
         else:
             self._fault_tables = None
-        #: Checkpoints captured at fault boundaries / epoch resumes.
-        self.checkpoints: list[ExecutorCheckpoint] = []
+        #: Dead-set snapshot at the last reconfiguration (None before
+        #: the first one); lets a restore re-derive the assignment.
+        self._reassign_dead: list[int] | None = None
+
+    def _expected_ckpt_kind(self) -> str:
+        tables = self._fault_tables
+        if tables is None or tables.is_effect_free:
+            return "dense"
+        return "faulted"
 
     def run(self):
         tables = self._fault_tables
@@ -291,11 +256,13 @@ class FaultedDenseExecutor(DenseExecutor):
         policy = self.policy
         tables = self._fault_tables
         tl = self.telemetry
+        ck = self._resume_from
         makespan = 0
         self._epoch = 0
         self._dead: set[int] = set()
         self._fault_log: list[str] = []
         self._streams: dict[tuple[int, int], list] = {}
+        self._reassign_dead = None
         stats.faults_injected = len(self.faults.events)
         self._holders = {
             c: set(ps) for c, ps in self.assignment.owners().items()
@@ -310,7 +277,12 @@ class FaultedDenseExecutor(DenseExecutor):
 
         if tl is not None:
             tl.meta.setdefault("engine", "dense")
-            tl.spans.begin("epoch", 0, track="epochs", epoch=0)
+            if ck is None:
+                tl.spans.begin("epoch", 0, track="epochs", epoch=0)
+            else:
+                # The snapshot carries the prefix's telemetry verbatim,
+                # including the span left open at capture time.
+                tl.load_snapshot(ck.telemetry)
 
         self._build_epoch_state()
 
@@ -343,6 +315,7 @@ class FaultedDenseExecutor(DenseExecutor):
         n_messages = 0
         n_lost = 0
         n_retries = 0
+        first_top: int | None = None
 
         def push(t: int, item: tuple) -> None:
             b = bucket_map.get(t)
@@ -492,6 +465,7 @@ class FaultedDenseExecutor(DenseExecutor):
             stats.recoveries += 1
             if assignment.m < old_m:
                 stats.columns_lost += old_m - assignment.m
+            self._reassign_dead = sorted(self._dead)
             self._epoch += 1
             self.assignment = assignment
             self.m = assignment.m
@@ -546,22 +520,137 @@ class FaultedDenseExecutor(DenseExecutor):
                     ],
                     dead=set(self._dead),
                     streams={k: list(v) for k, v in self._streams.items()},
+                    steps=T,
+                    kind="faulted",
+                    first_top=first_top,
+                    events=[
+                        (t, list(bucket_map[t])) for t in sorted(bucket_map)
+                    ],
+                    subscribers={
+                        k: list(v) for k, v in self.subscribers.items()
+                    },
+                    holders={
+                        c: set(ps) for c, ps in self._holders.items()
+                    },
+                    last_out=dict(last_out),
+                    reassign_dead=(
+                        list(self._reassign_dead)
+                        if self._reassign_dead is not None
+                        else None
+                    ),
+                    fault_log=list(self._fault_log),
+                    drops_consumed=tables.drops_consumed(),
+                    counters={
+                        "crashed_nodes": stats.crashed_nodes,
+                        "recoveries": stats.recoveries,
+                        "columns_lost": stats.columns_lost,
+                    },
+                    telemetry=None if tl is None else tl.snapshot(),
                 )
             )
 
-        # Setup pushes in the greedy engine's exact sequence order:
-        # scripted crashes (sorted by position), initial computes (used
-        # order, landing at t=1), stream checks (sorted), watchdog.
-        for pos, t_crash in sorted(tables.crash_times.items()):
-            push(t_crash, (_CRASH, pos))
-        for p in self.used:
-            try_start(p, 0)
-        init_streams(0)
-        push(self._watch_window(), (_WATCH, 0))
-
         boundaries = tables.boundaries()
-        b_idx = 0
+        if ck is None:
+            # Setup pushes in the greedy engine's exact sequence order:
+            # scripted crashes (sorted by position), initial computes
+            # (used order, landing at t=1), stream checks (sorted),
+            # watchdog.
+            for pos, t_crash in sorted(tables.crash_times.items()):
+                push(t_crash, (_CRASH, pos))
+            for p in self.used:
+                try_start(p, 0)
+            init_streams(0)
+            push(self._watch_window(), (_WATCH, 0))
+            b_idx = 0
+        else:
+            if ck.subscribers is None or ck.holders is None:
+                raise ValueError(
+                    "checkpoint lacks faulted resume state (summary-only "
+                    "capture)"
+                )
+            self._epoch = ck.epoch
+            self._dead = set(ck.dead)
+            if ck.reassign_dead is not None:
+                reassign = self.reassign or self._default_reassign
+                try:
+                    assignment = reassign(frozenset(ck.reassign_dead))
+                except ValueError as exc:
+                    raise self._deadlock(
+                        f"reconfiguration impossible: {exc}"
+                    ) from exc
+                self.assignment = assignment
+                self.m = assignment.m
+                self.used = assignment.used_positions()
+                self._build_subscriptions()
+                self._build_epoch_state()
+                self._pending_holders = assignment.owners()
+                self._reassign_dead = list(ck.reassign_dead)
+            # Retry re-subscriptions mutate the provider lists in
+            # place, so the snapshot's lists are authoritative over the
+            # rebuilt ones.
+            self.subscribers = {
+                k: list(v) for k, v in ck.subscribers.items()
+            }
+            self._holders = {c: set(ps) for c, ps in ck.holders.items()}
+            self._fault_log = list(ck.fault_log)
+            self._streams = {k: list(v) for k, v in ck.streams.items()}
+            for p in self.used:
+                saved = ck.watermarks[p]
+                w = self._W_of[p]
+                # The last slot is the virtual watermark, pinned to
+                # *this* run's T (which may extend the captured run's).
+                for i in range(len(saved) - 1):
+                    w[i] = saved[i]
+                self._busy[p] = ck.busy[p]
+            rs, ru, ls, lu = ck.link_state
+            r_slot[:] = rs
+            r_used[:] = ru
+            l_slot[:] = ls
+            l_used[:] = lu
+            last_out.update(ck.last_out)
+            injections = ck.injections
+            n_pebbles = ck.pebbles
+            n_messages = ck.messages
+            n_lost = ck.lost_messages
+            n_retries = ck.retries
+            progress = ck.progress
+            makespan = ck.makespan
+            first_top = ck.first_top
+            remaining = ck.remaining + sum(
+                self._k_of[p] for p in self.used
+            ) * (T - ck.steps)
+            stats.crashed_nodes = ck.counters.get("crashed_nodes", 0)
+            stats.recoveries = ck.counters.get("recoveries", 0)
+            stats.columns_lost = ck.counters.get("columns_lost", 0)
+            tables.consume_drops(ck.drops_consumed)
+            # Re-seed the pending events: the snapshot's buckets minus
+            # scripted crashes, which are re-read from *this* run's
+            # plan (a fault edit may have moved them) and re-inserted
+            # at the bucket fronts, exactly where the setup pushes put
+            # them in a fresh run.
+            crash_front: dict[int, list[tuple]] = {}
+            for pos, t_crash in sorted(tables.crash_times.items()):
+                if t_crash >= ck.time:
+                    crash_front.setdefault(t_crash, []).append(
+                        (_CRASH, pos)
+                    )
+            kept: dict[int, list[tuple]] = {}
+            for t, evs in ck.events:
+                evs = [e for e in evs if e[0] != _CRASH]
+                if evs:
+                    kept[t] = evs
+            for t in sorted(set(crash_front) | set(kept)):
+                bucket_map[t] = crash_front.get(t, []) + kept.get(t, [])
+                heapq.heappush(times, t)
+            b_idx = bisect_right(boundaries, ck.time)
         n_bounds = len(boundaries)
+
+        stride = self.checkpoint_stride
+        start_t = 0 if ck is None else ck.time
+        next_mark = (
+            stride * (start_t // stride + 1) if stride is not None else None
+        )
+        pending_resume = False
 
         finished = False
         while times and not finished:
@@ -573,6 +662,15 @@ class FaultedDenseExecutor(DenseExecutor):
                 while b_idx < n_bounds and boundaries[b_idx] <= now:
                     capture(boundaries[b_idx], "fault-boundary")
                     b_idx += 1
+            if pending_resume:
+                # Deferred from the _RESUME event so the snapshot's
+                # pending buckets are whole (the resume bucket itself
+                # was mid-iteration at the time).
+                capture(now, "resume")
+                pending_resume = False
+            if next_mark is not None and now >= next_mark:
+                capture(now, "stride")
+                next_mark = stride * (now // stride + 1)
             bucket = bucket_map[now]
             for ev in bucket:
                 kind = ev[0]
@@ -582,6 +680,8 @@ class FaultedDenseExecutor(DenseExecutor):
                         continue
                     self._busy[p] = False
                     self._W_of[p][i] = t
+                    if t == T and first_top is None:
+                        first_top = now
                     n_pebbles += 1
                     remaining -= 1
                     progress += 1
@@ -676,7 +776,7 @@ class FaultedDenseExecutor(DenseExecutor):
                     for p in self.used:
                         try_start(p, now)
                     init_streams(now)
-                    capture(now, "resume")
+                    pending_resume = True
                 elif kind == _CHECK:
                     _, p, c, ep = ev
                     if ep != self._epoch or p in self._dead:
@@ -820,6 +920,7 @@ class FaultedDenseExecutor(DenseExecutor):
         if tl is not None:
             tl.spans.close_all(makespan)
         self._injections = injections
+        self.first_top_t = first_top
         return self._finish_faulted(stats, makespan)
 
     def _finish_faulted(self, stats: SimStats, makespan: int):

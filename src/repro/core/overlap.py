@@ -16,7 +16,7 @@ network to a linear array via the Fact-3 dilation-3 embedding
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.assignment import Assignment, assign_databases
 from repro.core.dense import DenseExecutor, resolve_engine
@@ -51,6 +51,12 @@ class OverlapResult:
     faults: FaultPlan | None = None
     engine: str = "greedy"  # execution tier actually used (resolved)
     telemetry: object | None = None  # MetricsTimeline when requested
+    #: ExecutorCheckpoints captured during the run (dense tiers only;
+    #: stride marks plus, on faulted runs, fault boundaries/resumes).
+    checkpoints: list = field(default_factory=list)
+    #: First host step where any own watermark reached ``steps`` (dense
+    #: tiers; None if unknown) — the horizon-extension divergence bound.
+    first_top_t: int | None = None
 
     @property
     def slowdown(self) -> float:
@@ -137,6 +143,8 @@ def simulate_overlap(
     min_copies: int | None = None,
     engine: str = "auto",
     telemetry=None,
+    checkpoint_stride: int | None = None,
+    resume_from=None,
 ) -> OverlapResult:
     """Run algorithm OVERLAP on a host array.
 
@@ -192,6 +200,20 @@ def simulate_overlap(
         runs).  Supported by *both* tiers — attaching one never changes
         the engine selection or the results; the filled timeline is
         returned on :attr:`OverlapResult.telemetry`.
+    checkpoint_stride:
+        When set, the dense tiers snapshot the full executor state
+        every ``checkpoint_stride`` host steps (see
+        :mod:`repro.core.checkpoint`); the captures land on
+        :attr:`OverlapResult.checkpoints`.  Ignored by the greedy
+        engine.
+    resume_from:
+        An :class:`~repro.core.checkpoint.ExecutorCheckpoint` to
+        restore before running: the executor replays only the suffix
+        from the snapshot's time, finishing bit-identically to a full
+        run (the caller guarantees the prefix is still valid for this
+        config — the delta layer's blast-radius rules do).  Requires a
+        dense-tier resolution; a config that resolves to the greedy
+        engine raises :class:`~repro.delta.DeltaUnsupported`.
     """
     program = program or CounterProgram()
     forced_dead = normalize_forced_dead(host.n, forced_dead)
@@ -214,11 +236,12 @@ def simulate_overlap(
     resolved = resolve_engine(
         engine, faults=faults, policy=policy, forced_dead=forced_dead
     )
+    executor = None
     if resolved == "dense":
         if faults is not None and not faults.is_empty:
             from repro.core.dense_faults import FaultedDenseExecutor
 
-            exec_result = FaultedDenseExecutor(
+            executor = FaultedDenseExecutor(
                 host,
                 assignment,
                 program,
@@ -228,12 +251,29 @@ def simulate_overlap(
                 faults=faults,
                 policy=policy,
                 reassign=reassign,
-            ).run()
+                checkpoint_stride=checkpoint_stride,
+            )
         else:
-            exec_result = DenseExecutor(
-                host, assignment, program, steps, bandwidth, telemetry=telemetry
-            ).run()
+            executor = DenseExecutor(
+                host,
+                assignment,
+                program,
+                steps,
+                bandwidth,
+                telemetry=telemetry,
+                checkpoint_stride=checkpoint_stride,
+            )
+        if resume_from is not None:
+            executor.restore(resume_from)
+        exec_result = executor.run()
     else:
+        if resume_from is not None:
+            from repro.delta import DeltaUnsupported
+
+            raise DeltaUnsupported(
+                "resume_from requires the dense tier; this config resolved "
+                "to the greedy engine"
+            )
         exec_result = GreedyExecutor(
             host,
             assignment,
@@ -257,6 +297,8 @@ def simulate_overlap(
     return OverlapResult(
         host, killing, assignment, exec_result, schedule, steps, verified,
         faults=faults, engine=resolved, telemetry=telemetry,
+        checkpoints=list(executor.checkpoints) if executor is not None else [],
+        first_top_t=executor.first_top_t if executor is not None else None,
     )
 
 
@@ -274,6 +316,8 @@ def simulate_overlap_on_graph(
     min_copies: int | None = None,
     engine: str = "auto",
     telemetry=None,
+    checkpoint_stride: int | None = None,
+    resume_from=None,
 ) -> OverlapResult:
     """Theorem 6: OVERLAP on an arbitrary connected host network.
 
@@ -323,6 +367,8 @@ def simulate_overlap_on_graph(
         min_copies=min_copies,
         engine=engine,
         telemetry=telemetry,
+        checkpoint_stride=checkpoint_stride,
+        resume_from=resume_from,
     )
     result.embedding = embedding
     return result

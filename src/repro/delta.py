@@ -1,0 +1,243 @@
+"""Delta-driven incremental re-simulation (checkpoint blast radius).
+
+The sweep cache (:mod:`repro.runner`) stores, next to each result, the
+structured config it was computed from plus a manifest of executor
+checkpoints (:class:`repro.core.checkpoint.ExecutorCheckpoint`)
+captured during the run.  When a sweep later asks for a config that
+differs from a cached one only in *delta-eligible* keys, the runner
+restores the latest checkpoint strictly before the earliest simulated
+time the edit can influence — the edit's **blast radius** — and
+replays only the suffix.  The replay is bit-identical to a full
+recompute (gated differentially in ``tests/test_delta.py``); it is
+just a fraction of the work.
+
+A task opts in by attaching a :class:`DeltaSpec` with
+:func:`delta_task`.  The spec names one *rule* per eligible config
+key; every other key must match a cached neighbour exactly.  A rule
+maps an edit to the earliest time it can matter:
+
+``int``      — divergence cannot start before this simulated time;
+               checkpoints strictly earlier are valid restore points.
+``math.inf`` — the edit cannot perturb the simulation at all (cosmetic
+               post-processing knob, out-of-window event); the latest
+               checkpoint works.
+``None``     — ineligible edit; fall back to a full recompute.
+
+Built-in rules cover the blast radii the executors guarantee:
+
+* :func:`horizon_rule` — extending ``steps`` cannot diverge before the
+  base run's ``first_top_t`` (the first time any watermark reached the
+  old horizon; no scheduling decision consults ``== T`` earlier).
+* :func:`fault_events_rule` — editing fault events cannot diverge
+  before the earliest added/removed/changed event time (compiled
+  tables are per-event deterministic; the plan seed only *generates*
+  plans).
+* :func:`policy_rule` — ``restart_penalty``/``max_retries`` are only
+  consulted at recoveries and stalled-stream retries, both downstream
+  of the first fault event.  (``retry_factor``/``watchdog_factor`` are
+  **not** eligible: they set check/watchdog cadence from t=0.)
+* :func:`cosmetic_rule` — for keys the simulation never reads.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "DeltaUnsupported",
+    "DeltaOutcome",
+    "DeltaSpec",
+    "delta_task",
+    "earliest_affected",
+    "outcome_from_overlap",
+    "horizon_rule",
+    "fault_events_rule",
+    "policy_rule",
+    "cosmetic_rule",
+]
+
+
+class DeltaUnsupported(RuntimeError):
+    """A checkpoint cannot seed this config (e.g. the config resolved
+    to the greedy engine, or a fault edit flipped the run between the
+    faulted and effect-free dense paths).  The delta layer treats this
+    as "recompute fully", never as an error."""
+
+
+@dataclass
+class DeltaOutcome:
+    """What a delta-aware task returns from its capture/resume hooks.
+
+    ``result`` is the task's ordinary (JSON-safe) return value —
+    exactly what the plain task function would have returned.
+    ``checkpoints`` are the restorable snapshots the run captured, and
+    ``meta`` is a small JSON-safe dict of run facts the rules may need
+    later (``first_top_t`` for :func:`horizon_rule`).  ``resumed_at``
+    is filled by the runner on delta hits.
+    """
+
+    result: Any
+    checkpoints: list = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+    resumed_at: int | None = None
+
+
+@dataclass(frozen=True)
+class DeltaSpec:
+    """Delta contract for one sweep task.
+
+    ``rules``   — config key -> blast-radius rule (see module doc).
+    ``capture`` — ``cfg -> DeltaOutcome``: full run, capturing
+                  checkpoints (the task picks the stride).
+    ``resume``  — ``(cfg, ExecutorCheckpoint) -> DeltaOutcome``:
+                  restore the checkpoint under ``cfg`` and replay the
+                  suffix.  May raise :class:`DeltaUnsupported`.
+    """
+
+    rules: Mapping[str, Callable]
+    capture: Callable[[dict], DeltaOutcome]
+    resume: Callable[[dict, Any], DeltaOutcome]
+
+
+def delta_task(spec: DeltaSpec):
+    """Decorator attaching a :class:`DeltaSpec` to a sweep task.
+
+    The runner looks for ``fn.__delta__``; undecorated tasks sweep
+    exactly as before.
+    """
+
+    def deco(fn):
+        fn.__delta__ = spec
+        return fn
+
+    return deco
+
+
+def outcome_from_overlap(res, result) -> DeltaOutcome:
+    """Wrap a task result plus its ``OverlapResult`` into a
+    :class:`DeltaOutcome`, lifting the run facts the built-in rules
+    need (``first_top_t`` for horizon extensions, ``makespan`` for the
+    replayed-fraction accounting)."""
+    return DeltaOutcome(
+        result,
+        checkpoints=list(res.checkpoints),
+        meta={
+            "first_top_t": res.first_top_t,
+            "makespan": res.exec_result.stats.makespan,
+        },
+    )
+
+
+# -- neighbour matching ------------------------------------------------
+def earliest_affected(
+    rules: Mapping[str, Callable],
+    old_cfg: Mapping,
+    new_cfg: Mapping,
+    base_meta: Mapping,
+):
+    """Blast radius of editing ``old_cfg`` into ``new_cfg``.
+
+    Returns ``(affected_time, diff_keys)``; ``affected_time`` is
+    ``None`` when any differing key lacks a rule or its rule declines
+    (full recompute), ``math.inf`` when nothing can diverge, else the
+    min over the rules' answers.  Configs with different key *sets*
+    never match.
+    """
+    if set(old_cfg) != set(new_cfg):
+        return None, ()
+    diff = [k for k in new_cfg if old_cfg[k] != new_cfg[k]]
+    affected: float = math.inf
+    for k in diff:
+        rule = rules.get(k)
+        if rule is None:
+            return None, diff
+        t = rule(old_cfg[k], new_cfg[k], old_cfg, new_cfg, base_meta)
+        if t is None:
+            return None, diff
+        if t < affected:
+            affected = t
+    return affected, diff
+
+
+# -- built-in blast-radius rules ---------------------------------------
+def horizon_rule(old, new, old_cfg, new_cfg, base_meta):
+    """Horizon (``steps``) extension: bounded by the base run's
+    ``first_top_t``.  Shrinks and non-int values are ineligible."""
+    if isinstance(old, bool) or isinstance(new, bool):
+        return None
+    if not isinstance(old, int) or not isinstance(new, int):
+        return None
+    if new <= old:
+        return None
+    ft = base_meta.get("first_top_t")
+    if not isinstance(ft, int):
+        return None
+    return ft
+
+
+def _canon_event(e) -> str:
+    return json.dumps(e, sort_keys=True, separators=(",", ":"))
+
+
+def fault_events_rule(old, new, old_cfg, new_cfg, base_meta):
+    """Fault-plan spec edit (``FaultPlan.to_spec`` dicts): bounded by
+    the earliest added/removed/changed event time.
+
+    Seed and declared-horizon changes are ineligible (the seed names a
+    whole generated plan; the declared horizon re-filters every
+    event).  Reorderings of an identical event multiset are declined
+    too — compile order can matter for overlapping windows.
+    """
+    if not isinstance(old, dict) or not isinstance(new, dict):
+        return None
+    if old.get("seed") != new.get("seed"):
+        return None
+    if old.get("horizon") != new.get("horizon"):
+        return None
+    old_evs = [_canon_event(e) for e in old.get("events", [])]
+    new_evs = [_canon_event(e) for e in new.get("events", [])]
+    if old_evs == new_evs:
+        return math.inf
+    co, cn = Counter(old_evs), Counter(new_evs)
+    changed = list((co - cn)) + list((cn - co))
+    if not changed:
+        return None  # same events, different order
+    times = []
+    for s in changed:
+        t = json.loads(s).get("time")
+        if not isinstance(t, int):
+            return None
+        times.append(t)
+    return min(times)
+
+
+def policy_rule(old, new, old_cfg, new_cfg, base_meta):
+    """Recovery-policy dict edit: ``restart_penalty`` and
+    ``max_retries`` are consulted only downstream of a fault effect,
+    so the earliest fault-event time bounds them.  Any other policy
+    field (``retry_factor``, ``watchdog_factor``) is ineligible."""
+    if not isinstance(old, dict) or not isinstance(new, dict):
+        return None
+    diff = {k for k in set(old) | set(new) if old.get(k) != new.get(k)}
+    if not diff <= {"restart_penalty", "max_retries"}:
+        return None
+    spec = new_cfg.get("faults")
+    if not isinstance(spec, dict):
+        return None
+    times = [e.get("time") for e in spec.get("events", [])]
+    if not times:
+        return math.inf  # no fault events: the knobs are never read
+    if not all(isinstance(t, int) and not isinstance(t, bool) for t in times):
+        return None
+    return min(times)
+
+
+def cosmetic_rule(old, new, old_cfg, new_cfg, base_meta):
+    """For config keys the simulation never reads (post-processing
+    normalisers, display knobs): any checkpoint remains valid and the
+    resume hook recomputes the derived outputs under the new config."""
+    return math.inf

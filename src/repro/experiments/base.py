@@ -14,7 +14,7 @@ _EXPERIMENT_IDS = [
     "f1", "f2", "f3", "f4", "f5", "f6",
     "a1", "a2", "a3", "a4",
     "r1",
-    "x1", "x2", "x3", "x4",
+    "x1", "x2", "x3", "x4", "x5",
 ]
 
 
@@ -86,6 +86,8 @@ def run_experiment(
     cache_dir: str | None = None,
     progress: bool = False,
     profile: bool = False,
+    delta: bool = True,
+    cache_limit: int | None = None,
     **kwargs,
 ) -> ExperimentResult:
     """Run one experiment through the sweep engine.
@@ -96,6 +98,10 @@ def run_experiment(
     ``workers`` processes and reuse the content-hash cache at
     ``cache_dir`` (``None`` disables caching).  The result table is
     bit-for-bit identical at every worker count.
+
+    ``delta=False`` (the CLI's ``--no-delta``) disables checkpoint
+    suffix-replay for near-miss cached configs; ``cache_limit`` bounds
+    the cache directory to that many entries (oldest evicted first).
 
     ``profile=True`` (the CLI's ``--telemetry``) attaches a
     :class:`~repro.telemetry.profile.SweepProfile` to the runner and
@@ -113,7 +119,12 @@ def run_experiment(
     params = inspect.signature(run).parameters
     kwargs = {k: v for k, v in kwargs.items() if k in params}
     runner = SweepRunner(
-        workers=workers, cache_dir=cache_dir, progress=progress, profile=profile
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        profile=profile,
+        delta=delta,
+        cache_limit=cache_limit,
     )
     with using(runner):
         result = run(quick=quick, **kwargs)

@@ -21,6 +21,12 @@ import numpy as np
 
 from repro.analysis.scaling import fit_power_law
 from repro.core.overlap import simulate_overlap
+from repro.delta import (
+    DeltaSpec,
+    delta_task,
+    horizon_rule,
+    outcome_from_overlap,
+)
 from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
 from repro.runner import sweep
@@ -33,8 +39,15 @@ def _host(n: int, d_target: float, seed: int = 0) -> HostArray:
     return HostArray(scale_to_average(raw, d_target))
 
 
-def _d_point(cfg: dict) -> dict:
-    """One ``d_ave``-sweep grid point (sweep task)."""
+def _ckpt_stride(cfg: dict) -> int:
+    """Checkpoint every ~couple guest rows' worth of host steps: a few
+    restore points per run (restores for horizon extensions must land
+    before ``first_top_t``, which precedes the makespan), sidecars stay
+    small."""
+    return max(8, 2 * cfg["steps"])
+
+
+def _d_eval(cfg: dict, resume_from=None, checkpoint_stride=None):
     n, d = cfg["n"], cfg["d"]
     host = _host(n, d) if d > 1 else HostArray.uniform(n, 1)
     res = simulate_overlap(
@@ -43,8 +56,10 @@ def _d_point(cfg: dict) -> dict:
         block=2,
         verify=cfg["verify"],
         engine=cfg.get("engine", "auto"),
+        checkpoint_stride=checkpoint_stride,
+        resume_from=resume_from,
     )
-    return {
+    out = {
         "row": {
             "sweep": "d_ave",
             "n": n,
@@ -59,10 +74,27 @@ def _d_point(cfg: dict) -> dict:
         "x": max(1.0, host.d_ave),
         "y": res.slowdown,
     }
+    return out, res
 
 
-def _n_point(cfg: dict) -> dict:
-    """One ``n``-sweep grid point (sweep task)."""
+def _d_capture(cfg: dict):
+    out, res = _d_eval(cfg, checkpoint_stride=_ckpt_stride(cfg))
+    return outcome_from_overlap(res, out)
+
+
+def _d_resume(cfg: dict, ck):
+    out, res = _d_eval(cfg, resume_from=ck, checkpoint_stride=_ckpt_stride(cfg))
+    return outcome_from_overlap(res, out)
+
+
+@delta_task(DeltaSpec(rules={"steps": horizon_rule}, capture=_d_capture, resume=_d_resume))
+def _d_point(cfg: dict) -> dict:
+    """One ``d_ave``-sweep grid point (sweep task; ``steps``
+    extensions are delta-eligible)."""
+    return _d_eval(cfg)[0]
+
+
+def _n_eval(cfg: dict, resume_from=None, checkpoint_stride=None):
     nn = cfg["n"]
     host = _host(nn, 4, seed=1)
     res = simulate_overlap(
@@ -71,10 +103,12 @@ def _n_point(cfg: dict) -> dict:
         block=2,
         verify=False,
         engine=cfg.get("engine", "auto"),
+        checkpoint_stride=checkpoint_stride,
+        resume_from=resume_from,
     )
     degenerate = res.schedule.k_max == 0  # theory needs n >> c log n
     bound = res.schedule_slowdown_bound()
-    return {
+    out = {
         "row": {
             "sweep": "n",
             "n": nn,
@@ -90,6 +124,24 @@ def _n_point(cfg: dict) -> dict:
         "y": res.slowdown,
         "bound_ok": None if degenerate else res.slowdown <= bound,
     }
+    return out, res
+
+
+def _n_capture(cfg: dict):
+    out, res = _n_eval(cfg, checkpoint_stride=_ckpt_stride(cfg))
+    return outcome_from_overlap(res, out)
+
+
+def _n_resume(cfg: dict, ck):
+    out, res = _n_eval(cfg, resume_from=ck, checkpoint_stride=_ckpt_stride(cfg))
+    return outcome_from_overlap(res, out)
+
+
+@delta_task(DeltaSpec(rules={"steps": horizon_rule}, capture=_n_capture, resume=_n_resume))
+def _n_point(cfg: dict) -> dict:
+    """One ``n``-sweep grid point (sweep task; ``steps`` extensions
+    are delta-eligible)."""
+    return _n_eval(cfg)[0]
 
 
 def run(quick: bool = True, engine: str = "auto") -> ExperimentResult:

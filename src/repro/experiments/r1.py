@@ -19,6 +19,14 @@ from __future__ import annotations
 from repro.analysis.metrics import degradation, survival_fraction
 from repro.core.executor import SimulationDeadlock
 from repro.core.overlap import simulate_overlap
+from repro.delta import (
+    DeltaOutcome,
+    DeltaSpec,
+    cosmetic_rule,
+    delta_task,
+    horizon_rule,
+    outcome_from_overlap,
+)
 from repro.experiments.base import ExperimentResult
 from repro.machine.host import HostArray
 from repro.netsim.faults import FaultPlan
@@ -28,13 +36,10 @@ from repro.runner import sweep
 SEED = 1996
 
 
-def _rate_point(cfg: dict) -> dict:
-    """One fault-rate grid point (sweep task).
-
-    The config carries everything the point depends on — including the
-    clean-run slowdown/guest size the degradation columns are relative
-    to — so the cache key captures the full input state.
-    """
+def _rate_eval(cfg: dict, resume_from=None, checkpoint_stride=None):
+    """Evaluate one fault-rate grid point; returns ``(row, res)`` where
+    ``res`` is ``None`` when the run deadlocked (deadlocked runs leave
+    no restorable suffix, so they never serve as delta bases)."""
     host = HostArray.uniform(cfg["n"])
     rate = cfg["rate"]
     plan = FaultPlan.random(
@@ -45,9 +50,16 @@ def _rate_point(cfg: dict) -> dict:
         drop_rate=rate / 2,
     )
     outcome = "ok"
+    res = None
     try:
         res = simulate_overlap(
-            host, steps=cfg["steps"], min_copies=2, faults=plan, verify=True
+            host,
+            steps=cfg["steps"],
+            min_copies=2,
+            faults=plan,
+            verify=True,
+            checkpoint_stride=checkpoint_stride,
+            resume_from=resume_from,
         )
         stats = res.exec_result.stats
         row = {
@@ -84,7 +96,48 @@ def _rate_point(cfg: dict) -> dict:
         }
         row["outcome"] = f"deadlock: {str(exc)[:60]}"
     row.setdefault("outcome", outcome)
-    return row
+    return row, res
+
+
+def _rate_capture(cfg: dict) -> DeltaOutcome:
+    row, res = _rate_eval(cfg, checkpoint_stride=max(16, 4 * cfg["steps"]))
+    if res is None:
+        return DeltaOutcome(row)
+    return outcome_from_overlap(res, row)
+
+
+def _rate_resume(cfg: dict, ck) -> DeltaOutcome:
+    row, res = _rate_eval(
+        cfg, resume_from=ck, checkpoint_stride=max(16, 4 * cfg["steps"])
+    )
+    if res is None:
+        return DeltaOutcome(row)
+    return outcome_from_overlap(res, row)
+
+
+@delta_task(
+    DeltaSpec(
+        rules={
+            "steps": horizon_rule,
+            # The clean-run baselines only feed the degradation /
+            # deadlock-row columns (post-processing); the simulation
+            # never reads them.
+            "clean_slowdown": cosmetic_rule,
+            "clean_m": cosmetic_rule,
+        },
+        capture=_rate_capture,
+        resume=_rate_resume,
+    )
+)
+def _rate_point(cfg: dict) -> dict:
+    """One fault-rate grid point (sweep task).
+
+    The config carries everything the point depends on — including the
+    clean-run slowdown/guest size the degradation columns are relative
+    to — so the cache key captures the full input state.  ``steps``
+    extensions and clean-baseline edits are delta-eligible.
+    """
+    return _rate_eval(cfg)[0]
 
 
 def run(quick: bool = True, n: int | None = None) -> ExperimentResult:

@@ -152,6 +152,10 @@ class FaultTables:
                     self._drops.setdefault(key, []).append(ev.time)
         for times in self._drops.values():
             times.sort()
+        # Compiled drop counts, frozen before any consumption: the
+        # difference against the live lists is the per-link number of
+        # one-shot drops the run has eaten (checkpointed for restore).
+        self._drops_total = {key: len(times) for key, times in self._drops.items()}
 
     @staticmethod
     def _validate_target(ev: FaultEvent, n: int, n_links: int) -> None:
@@ -244,6 +248,33 @@ class FaultTables:
         """
         t0 = self.crash_times.get(position)
         return t0 is not None and t >= t0
+
+    def drops_consumed(self) -> list[list[int]]:
+        """How many one-shot drops each directed link has eaten so far.
+
+        Returned as ``[[link, direction, count]]`` rows (sorted, only
+        links with consumption) — the checkpoint-friendly complement of
+        :meth:`consume_drops`.
+        """
+        out = []
+        for key in sorted(self._drops_total):
+            used = self._drops_total[key] - len(self._drops.get(key, ()))
+            if used:
+                out.append([key[0], key[1], used])
+        return out
+
+    def consume_drops(self, consumed: list) -> None:
+        """Replay a :meth:`drops_consumed` record onto fresh tables.
+
+        Sound during checkpoint restore because one-shot drops are
+        consumed earliest-armed-first and the restored prefix consumed
+        exactly the same injections; rows for drops the (possibly
+        edited) plan no longer scripts are ignored.
+        """
+        for link, direction, count in consumed:
+            times = self._drops.get((link, direction))
+            if times:
+                del times[: min(count, len(times))]
 
     def boundaries(self) -> list[int]:
         """Sorted unique times where the fault environment changes.
@@ -419,6 +450,46 @@ class FaultPlan:
         if not self.events:
             return "(no faults)"
         return "\n".join(ev.describe() for ev in sorted(self.events, key=lambda e: e.time))
+
+    def to_spec(self) -> dict:
+        """Plain-JSON form of the plan (structured sweep-config key).
+
+        The spec is the delta layer's view of a plan: sweep configs
+        carry it instead of the object so cached entries can be diffed
+        field-by-field (see ``repro.delta.fault_events_rule``).
+        :meth:`from_spec` inverts it exactly.
+        """
+        return {
+            "events": [
+                {
+                    "kind": ev.kind,
+                    "time": ev.time,
+                    "target": ev.target,
+                    "duration": ev.duration,
+                    "extra": ev.extra,
+                    "direction": ev.direction,
+                }
+                for ev in self.events
+            ],
+            "seed": self.seed,
+            "horizon": self.horizon,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_spec` output."""
+        events = [
+            FaultEvent(
+                kind=e["kind"],
+                time=e["time"],
+                target=e["target"],
+                duration=e.get("duration"),
+                extra=e.get("extra", 0),
+                direction=e.get("direction"),
+            )
+            for e in spec.get("events", [])
+        ]
+        return cls(events, seed=spec.get("seed"), horizon=spec.get("horizon"))
 
     def compile(self, host) -> FaultTables:
         """Validate against ``host`` and build fresh per-run tables."""

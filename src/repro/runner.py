@@ -143,15 +143,43 @@ class SweepCache:
     """Content-addressed JSON store for finished sweep configs.
 
     One file per config under ``root/<hh>/<hash>.json`` holding the
-    config (for debuggability) and its result.  Writes are
-    atomic-rename so a killed run never leaves a truncated entry.
+    config (for debuggability), its result and — for delta-aware tasks
+    (:mod:`repro.delta`) — the task tag, the run's delta metadata and a
+    manifest of the checkpoints captured during the run.  The
+    checkpoint blobs themselves live in a ``<hash>.ckpt.json`` sidecar
+    so plain cache reads never pay for them.  Writes are atomic-rename
+    so a killed run never leaves a truncated entry, and a torn/corrupt
+    entry found by :meth:`get` is deleted on sight so it cannot poison
+    later sweeps.
+
+    ``max_entries`` (default: unbounded) caps the number of *entries*;
+    :meth:`put` evicts oldest-modified entries (and their sidecars)
+    beyond the cap.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    _SIDECAR = ".ckpt.json"
+
+    def __init__(
+        self, root: str | os.PathLike, max_entries: int | None = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.root = pathlib.Path(root)
+        self.max_entries = max_entries
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _ckpt_path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}{self._SIDECAR}"
+
+    def _entry_files(self):
+        """Entry files only (checkpoint sidecars excluded)."""
+        if not self.root.exists():
+            return
+        for path in self.root.glob("*/*.json"):
+            if not path.name.endswith(self._SIDECAR):
+                yield path
 
     def get(self, key: str):
         """The cached result for ``key``, or ``None`` on a miss.
@@ -164,41 +192,140 @@ class SweepCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return None
+        except ValueError:
+            # Torn or corrupt JSON (a crash mid-write predating the
+            # atomic rename, disk corruption...): delete it so the bad
+            # bytes cannot shadow a future recompute.
+            path.unlink(missing_ok=True)
+            self._ckpt_path(key).unlink(missing_ok=True)
             return None
         return entry.get("result")
 
-    def put(self, key: str, config: dict, result) -> None:
-        """Store ``result`` for ``key`` (atomic write)."""
+    def put(
+        self,
+        key: str,
+        config: dict,
+        result,
+        task: str | None = None,
+        version: str | None = None,
+        delta: dict | None = None,
+    ) -> None:
+        """Store ``result`` for ``key`` (atomic write).
+
+        ``task``/``version`` tag the entry for delta-neighbour lookup;
+        ``delta`` is ``{"meta": ..., "checkpoints": [blob, ...]}`` from
+        a delta-aware run — the blobs go to the sidecar, their
+        ``(time, label, epoch)`` manifest into the entry.
+        """
         if result is None:
             raise ValueError("sweep tasks must not return None (reserved for cache misses)")
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
         entry = {"config": config, "result": result}
+        if task is not None:
+            entry["task"] = task
+            entry["version"] = version
+        if delta and delta.get("checkpoints"):
+            entry["delta_meta"] = delta.get("meta") or {}
+            entry["ckpt_manifest"] = [
+                {
+                    "time": b.get("time"),
+                    "label": b.get("label"),
+                    "epoch": b.get("epoch"),
+                }
+                for b in delta["checkpoints"]
+            ]
+            # Sidecar first: an entry whose manifest has no blobs yet
+            # would claim restore points it cannot serve.
+            self._write(
+                self._ckpt_path(key),
+                {"checkpoints": delta["checkpoints"]},
+                "sweep cache checkpoint sidecar",
+            )
+        self._write(path, entry, "sweep cache entry")
+        if self.max_entries is not None:
+            self._evict()
+
+    def _write(self, path: pathlib.Path, value, where: str) -> None:
+        """Serialise ``value`` and atomically rename it into place."""
         try:
-            text = json.dumps(entry, allow_nan=False)
+            text = json.dumps(value, allow_nan=False)
         except ValueError:
-            _reject_non_finite(entry, "sweep cache entry")
+            _reject_non_finite(value, where)
             raise
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(text)
         os.replace(tmp, path)
 
+    def _evict(self) -> int:
+        """Drop oldest-modified entries beyond ``max_entries``."""
+        files = sorted(
+            self._entry_files(), key=lambda p: (p.stat().st_mtime, p.name)
+        )
+        excess = len(files) - self.max_entries
+        for victim in files[:excess] if excess > 0 else []:
+            victim.unlink(missing_ok=True)
+            victim.with_name(
+                victim.name[: -len(".json")] + self._SIDECAR
+            ).unlink(missing_ok=True)
+        return max(0, excess)
+
+    def delta_candidates(self, task: str, version: str) -> list[dict]:
+        """Entries of ``task``/``version`` carrying a checkpoint
+        manifest — the neighbour pool for delta matching.  Only keys
+        with a sidecar are read, so mixed caches stay cheap to scan."""
+        out = []
+        if not self.root.exists():
+            return out
+        for side in sorted(self.root.glob(f"*/*{self._SIDECAR}")):
+            key = side.name[: -len(self._SIDECAR)]
+            try:
+                with open(self._path(key), "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if entry.get("task") != task or entry.get("version") != version:
+                continue
+            manifest = entry.get("ckpt_manifest") or []
+            config = entry.get("config")
+            if not manifest or not isinstance(config, dict):
+                continue
+            out.append(
+                {
+                    "key": key,
+                    "config": config,
+                    "meta": entry.get("delta_meta") or {},
+                    "manifest": manifest,
+                }
+            )
+        return out
+
+    def load_checkpoints(self, key: str) -> list:
+        """Raw checkpoint blobs from ``key``'s sidecar ([] if none)."""
+        try:
+            with open(self._ckpt_path(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return []
+        blobs = data.get("checkpoints")
+        return blobs if isinstance(blobs, list) else []
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and sidecar); returns entries removed."""
         removed = 0
         if not self.root.exists():
             return 0
         for path in self.root.glob("*/*.json"):
+            if not path.name.endswith(self._SIDECAR):
+                removed += 1
             path.unlink(missing_ok=True)
-            removed += 1
         return removed
 
     def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entry_files())
 
 
 # -- worker pool ---------------------------------------------------------
@@ -287,6 +414,77 @@ def _run_chunk(fn: Callable[[dict], object], payload: str) -> str:
         ) from exc
 
 
+def _run_chunk_delta(fn: Callable[[dict], object], payload: str) -> str:
+    """Full-recompute chunk for a *delta-aware* task.
+
+    Same envelope discipline as :func:`_run_chunk`, but runs the task's
+    capture hook so each config's checkpoints and delta metadata come
+    back with its result (as JSON blobs) for the parent to cache.
+    """
+    t0 = time.perf_counter()
+    spec = fn.__delta__
+    out = []
+    for cfg in json.loads(payload):
+        oc = spec.capture(cfg)
+        if oc.result is None:
+            raise ValueError(
+                "sweep tasks must not return None (reserved for cache misses)"
+            )
+        out.append(
+            {
+                "result": oc.result,
+                "meta": oc.meta or {},
+                "checkpoints": [c.to_json() for c in oc.checkpoints],
+            }
+        )
+    envelope = {
+        "outcomes": out,
+        "pid": os.getpid(),
+        "wall": time.perf_counter() - t0,
+    }
+    try:
+        return json.dumps(envelope, allow_nan=False)
+    except ValueError:
+        _reject_non_finite(out, "sweep task result")
+        raise
+    except TypeError as exc:
+        raise TypeError(
+            f"sweep task returned a non-JSON-serialisable result: {exc}"
+        ) from exc
+
+
+def _match_delta(spec, cands: list[dict], cfg: dict):
+    """Best ``(candidate, manifest_entry)`` neighbour for ``cfg``.
+
+    A candidate matches when every differing key has a blast-radius
+    rule that accepts the edit (:func:`repro.delta.earliest_affected`)
+    and it holds a checkpoint strictly before the earliest affected
+    time.  Among matches, the one whose restore point is latest wins
+    (least replay); candidates arrive key-sorted, so ties are stable.
+    Returns ``None`` when a full recompute is needed.
+    """
+    from repro.delta import earliest_affected
+
+    best = None
+    for cand in cands:
+        affected, diff = earliest_affected(
+            spec.rules, cand["config"], cfg, cand["meta"]
+        )
+        if affected is None or not diff:
+            continue
+        pick = None
+        for cm in cand["manifest"]:
+            t = cm.get("time")
+            if isinstance(t, int) and 1 <= t < affected:
+                if pick is None or t > pick["time"]:
+                    pick = cm
+        if pick is None:
+            continue
+        if best is None or pick["time"] > best[1]["time"]:
+            best = (cand, pick)
+    return best
+
+
 class ProgressMeter:
     """Coarse per-config progress/ETA line on a stream.
 
@@ -314,7 +512,7 @@ class ProgressMeter:
             self.stream.write(f"[sweep {label}] 0/0 elapsed 0.0s\n")
             self.stream.flush()
 
-    def step(self, cached: bool = False) -> None:
+    def step(self, cached: bool = False, delta: bool = False) -> None:
         self.done += 1
         if not cached:
             self.computed += 1
@@ -323,7 +521,7 @@ class ProgressMeter:
         if self.done < self.total and self.computed:
             eta = elapsed / self.computed * (self.total - self.done)
             eta_txt = f" eta {eta:.1f}s"
-        tag = " (cached)" if cached else ""
+        tag = " (cached)" if cached else " (delta)" if delta else ""
         self.stream.write(
             f"\r[sweep {self.label}] {self.done}/{self.total} "
             f"elapsed {elapsed:.1f}s{eta_txt}{tag}    "
@@ -362,11 +560,24 @@ class SweepRunner:
         progress: bool = False,
         stream=None,
         profile: bool = False,
+        delta: bool = True,
+        delta_strict: bool = False,
+        cache_limit: int | None = None,
     ) -> None:
         self.workers = max(1, int(workers or 1))
-        self.cache = SweepCache(cache_dir) if cache_dir else None
+        self.cache = (
+            SweepCache(cache_dir, max_entries=cache_limit)
+            if cache_dir
+            else None
+        )
         self.progress = progress
         self.stream = stream if stream is not None else sys.stderr
+        #: Use cached-neighbour checkpoints for delta-aware tasks
+        #: (:mod:`repro.delta`); ``False`` forces full recomputes.
+        self.delta = delta
+        #: Raise instead of silently recomputing when a matched
+        #: checkpoint cannot be restored (differential test mode).
+        self.delta_strict = delta_strict
         if profile:
             from repro.telemetry.profile import SweepProfile
 
@@ -380,6 +591,9 @@ class SweepRunner:
         self.last_elapsed = 0.0
         self.last_chunk_size = 0  # 0 = last map() ran inline
         self.last_pool_reused = False
+        self.last_delta_hits = 0
+        self.last_delta_fallbacks = 0
+        self.last_replayed_fraction: float | None = None
 
     def map(
         self,
@@ -430,11 +644,47 @@ class SweepRunner:
 
         self.last_chunk_size = 0
         self.last_pool_reused = False
+        self.last_delta_hits = 0
+        self.last_delta_fallbacks = 0
+        self.last_replayed_fraction = None
+
+        # Delta matching: a task carrying a DeltaSpec (repro.delta) can
+        # satisfy a miss from a cached *neighbour* — an entry differing
+        # only in delta-eligible keys — by restoring the latest
+        # checkpoint strictly before the edit's blast radius and
+        # replaying just the suffix.
+        spec = getattr(fn, "__delta__", None)
+        use_delta = spec is not None and self.cache is not None
+        delta_jobs: dict[int, tuple[dict, dict]] = {}
+        if use_delta and self.delta and pending:
+            cands = self.cache.delta_candidates(tag, version)
+            if cands:
+                for i in pending:
+                    match = _match_delta(spec, cands, configs[i])
+                    if match is not None:
+                        delta_jobs[i] = match
+                pending = [i for i in pending if i not in delta_jobs]
+        if delta_jobs:
+            self._run_delta_jobs(
+                spec, delta_jobs, configs, keys, results, tag, version, prog
+            )
+
         if pending:
+            outcomes: dict[int, dict] = {}
             if self.workers == 1 or len(pending) == 1:
                 inline_t0 = time.perf_counter() if prof is not None else 0.0
                 for i in pending:
-                    results[i] = self._normalise(fn(configs[i]))
+                    if use_delta:
+                        oc = spec.capture(configs[i])
+                        results[i] = self._normalise(oc.result)
+                        outcomes[i] = {
+                            "meta": self._normalise(oc.meta or {}),
+                            "checkpoints": [
+                                c.to_json() for c in oc.checkpoints
+                            ],
+                        }
+                    else:
+                        results[i] = self._normalise(fn(configs[i]))
                     if prog:
                         prog.step()
                 if prof is not None:
@@ -452,22 +702,38 @@ class SweepRunner:
                 self.last_chunk_size = chunk
                 pool, reused = _get_pool(self.workers)
                 self.last_pool_reused = reused
+                run_chunk = _run_chunk_delta if use_delta else _run_chunk
                 futures = {}
                 for start in range(0, len(pending), chunk):
                     idxs = pending[start : start + chunk]
                     payload = canonical_json([configs[i] for i in idxs])
-                    futures[pool.submit(_run_chunk, fn, payload)] = idxs
+                    futures[pool.submit(run_chunk, fn, payload)] = idxs
                 not_done = set(futures)
                 while not_done:
                     finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                     for fut in finished:
-                        # _run_chunk already JSON round-tripped the
-                        # results, so the decode is the normalisation.
+                        # The chunk runner already JSON round-tripped
+                        # the results, so the decode is the
+                        # normalisation.
                         envelope = json.loads(fut.result())
-                        for i, res in zip(futures[fut], envelope["results"]):
-                            results[i] = res
-                            if prog:
-                                prog.step()
+                        if use_delta:
+                            for i, oc in zip(
+                                futures[fut], envelope["outcomes"]
+                            ):
+                                results[i] = oc["result"]
+                                outcomes[i] = {
+                                    "meta": oc["meta"],
+                                    "checkpoints": oc["checkpoints"],
+                                }
+                                if prog:
+                                    prog.step()
+                        else:
+                            for i, res in zip(
+                                futures[fut], envelope["results"]
+                            ):
+                                results[i] = res
+                                if prog:
+                                    prog.step()
                         if prof is not None:
                             prof.record_chunk(
                                 envelope["pid"],
@@ -476,13 +742,23 @@ class SweepRunner:
                             )
             if self.cache is not None:
                 for i in pending:
-                    self.cache.put(keys[i], configs[i], results[i])
+                    if use_delta:
+                        self.cache.put(
+                            keys[i],
+                            configs[i],
+                            results[i],
+                            task=tag,
+                            version=version,
+                            delta=outcomes.get(i),
+                        )
+                    else:
+                        self.cache.put(keys[i], configs[i], results[i])
 
         self.last_hits = hits
-        self.last_misses = len(pending)
+        self.last_misses = len(pending) + self.last_delta_fallbacks
         self.last_elapsed = time.perf_counter() - t0
         if prof is not None:
-            prof.record_cache(hits, len(pending), lookup_s)
+            prof.record_cache(hits, self.last_misses, lookup_s)
             prof.record_map(
                 len(configs),
                 self.last_elapsed,
@@ -491,6 +767,103 @@ class SweepRunner:
                 self.last_pool_reused,
             )
         return results
+
+    def _run_delta_jobs(
+        self, spec, jobs, configs, keys, results, tag, version, prog
+    ) -> None:
+        """Execute matched delta jobs inline (suffix replays are cheap
+        by construction; shipping checkpoint blobs to workers is not).
+
+        Each job restores its matched checkpoint under the new config
+        and replays the suffix; a checkpoint the executors decline
+        (:class:`repro.delta.DeltaUnsupported`, or missing blobs) falls
+        back to a full capture — or raises under ``delta_strict``.  The
+        cached entry gets a *merged* checkpoint set: the base entry's
+        blobs up to the restore point (still bit-valid for the new
+        config — they precede the blast radius) plus the suffix's own
+        captures, so the new entry serves future deltas as well as a
+        fully recomputed one.
+        """
+        from repro.core.checkpoint import ExecutorCheckpoint
+        from repro.delta import DeltaUnsupported
+
+        replayed: list[float] = []
+        hits = 0
+        fallbacks = 0
+        # One-knob grids typically match every edit against the same
+        # base entry; decode its sidecar once, not once per job.
+        sidecars: dict[str, list] = {}
+        for i in sorted(jobs):
+            cand, ckm = jobs[i]
+            if cand["key"] not in sidecars:
+                sidecars[cand["key"]] = self.cache.load_checkpoints(cand["key"])
+            blobs = sidecars[cand["key"]]
+            blob = next(
+                (
+                    b
+                    for b in blobs
+                    if b.get("time") == ckm.get("time")
+                    and b.get("label") == ckm.get("label")
+                ),
+                None,
+            )
+            out = None
+            if blob is not None:
+                try:
+                    out = spec.resume(
+                        dict(configs[i]), ExecutorCheckpoint.from_json(blob)
+                    )
+                except DeltaUnsupported:
+                    out = None
+            if out is None:
+                fallbacks += 1
+                if self.delta_strict:
+                    raise RuntimeError(
+                        "delta-strict: full recompute fallback for config "
+                        f"{configs[i]!r} (checkpoint t={ckm.get('time')} of "
+                        f"entry {cand['key'][:12]} unusable)"
+                    )
+                oc = spec.capture(configs[i])
+                results[i] = self._normalise(oc.result)
+                payload = {
+                    "meta": self._normalise(oc.meta or {}),
+                    "checkpoints": [c.to_json() for c in oc.checkpoints],
+                }
+            else:
+                hits += 1
+                out.resumed_at = ckm.get("time")
+                results[i] = self._normalise(out.result)
+                meta = self._normalise(out.meta or {})
+                makespan = meta.get("makespan")
+                if isinstance(makespan, int) and makespan > 0:
+                    frac = (makespan - out.resumed_at) / makespan
+                    replayed.append(max(0.0, min(1.0, frac)))
+                prefix = [
+                    b for b in blobs if b.get("time", 0) <= out.resumed_at
+                ]
+                payload = {
+                    "meta": meta,
+                    "checkpoints": prefix
+                    + [c.to_json() for c in out.checkpoints],
+                }
+            self.cache.put(
+                keys[i],
+                configs[i],
+                results[i],
+                task=tag,
+                version=version,
+                delta=payload,
+            )
+            if prog:
+                prog.step(delta=out is not None)
+        self.last_delta_hits = hits
+        self.last_delta_fallbacks = fallbacks
+        if replayed:
+            self.last_replayed_fraction = sum(replayed) / len(replayed)
+        if self.profile is not None:
+            self.profile.record_delta(
+                hits, fallbacks, self.last_replayed_fraction
+            )
 
     @staticmethod
     def _normalise(result):

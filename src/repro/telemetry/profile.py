@@ -33,6 +33,12 @@ class SweepProfile:
         self.cache_lookup_s = 0.0
         #: wall seconds computing configs inline (workers == 1 path)
         self.inline_s = 0.0
+        #: configs served by checkpoint suffix-replay (repro.delta)
+        self.delta_hits = 0
+        #: matched delta jobs that fell back to a full recompute
+        self.delta_fallbacks = 0
+        #: per-delta-hit replayed fraction of the run's makespan
+        self.delta_replayed: list[float] = []
 
     # -- recording (called by SweepRunner) -------------------------------
     def record_chunk(self, pid: int, configs: int, wall_s: float) -> None:
@@ -45,6 +51,14 @@ class SweepProfile:
 
     def record_inline(self, wall_s: float) -> None:
         self.inline_s += wall_s
+
+    def record_delta(
+        self, hits: int, fallbacks: int, replayed_fraction: float | None
+    ) -> None:
+        self.delta_hits += hits
+        self.delta_fallbacks += fallbacks
+        if replayed_fraction is not None:
+            self.delta_replayed.append(replayed_fraction)
 
     def record_map(
         self,
@@ -96,6 +110,17 @@ class SweepProfile:
                 "misses": self.cache_misses,
                 "lookup_s": round(self.cache_lookup_s, 6),
             },
+            "delta": {
+                "hits": self.delta_hits,
+                "fallbacks": self.delta_fallbacks,
+                "mean_replayed_fraction": (
+                    round(
+                        sum(self.delta_replayed) / len(self.delta_replayed), 4
+                    )
+                    if self.delta_replayed
+                    else None
+                ),
+            },
             "workers": {
                 str(pid): {
                     "chunks": agg["chunks"],
@@ -132,6 +157,14 @@ def format_profile(profile) -> str:
         lines.append(
             f"  cache: {hits} hit / {misses} recompute "
             f"({pct:.0f}% hit rate, {cache.get('lookup_s', 0.0) * 1000:.1f}ms lookup)"
+        )
+    delta = profile.get("delta", {})
+    if delta.get("hits") or delta.get("fallbacks"):
+        frac = delta.get("mean_replayed_fraction")
+        frac_txt = f", {100.0 * frac:.0f}% of run replayed" if frac else ""
+        lines.append(
+            f"  delta: {delta.get('hits', 0)} suffix replay(s), "
+            f"{delta.get('fallbacks', 0)} fallback(s){frac_txt}"
         )
     compute_s = profile.get("compute_s", 0.0)
     if compute_s and not workers:

@@ -118,3 +118,26 @@ class SpanLog:
             }
             for s in self.spans
         ]
+
+    @classmethod
+    def from_dicts(cls, dicts: list[dict], clock=None) -> "SpanLog":
+        """Rebuild a log from :meth:`as_dicts` output.
+
+        Open spans survive the round trip: ``_open`` is always the
+        in-order subsequence of ``spans`` whose ``end`` is ``None``
+        (``end``/``close_all`` are the only closers and both stamp an
+        end time), so it is reconstructed from that invariant.
+        """
+        log = cls(clock=clock)
+        for d in dicts:
+            span = Span(
+                d["name"],
+                d["start"],
+                d.get("end"),
+                track=d.get("track", "run"),
+                args=dict(d.get("args", {})),
+            )
+            log.spans.append(span)
+            if span.end is None:
+                log._open.append(span)
+        return log

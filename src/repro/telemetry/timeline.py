@@ -296,6 +296,50 @@ class MetricsTimeline:
             title=f"per-step activity (bucket={bucket} steps)",
         )
 
+    # -- checkpoint snapshot / restore -----------------------------------
+    _COUNTERS = (
+        "pebbles",
+        "redundant",
+        "messages",
+        "hops",
+        "arrivals",
+        "deliveries",
+        "lost",
+    )
+
+    def snapshot(self) -> dict:
+        """Lossless mid-run snapshot (JSON-safe, unlike :meth:`as_dict`).
+
+        Captures raw internal state — sparse counter dicts, the
+        redundancy dedup set, open spans — so that
+        :meth:`load_snapshot` followed by feeding the remaining suffix
+        of a run reproduces the uninterrupted timeline exactly.  Used
+        by the executor checkpoints (:mod:`repro.core.checkpoint`).
+        """
+        return {
+            "counters": {
+                name: sorted(getattr(self, name).items())
+                for name in self._COUNTERS
+            },
+            "faults": [list(f) for f in self.faults],
+            "positions": sorted(self.positions),
+            "seen": sorted(map(list, self._seen)),
+            "meta": dict(self.meta),
+            "spans": self.spans.as_dicts(),
+        }
+
+    def load_snapshot(self, snap: dict) -> None:
+        """Reset this timeline to a :meth:`snapshot` state in place."""
+        for name in self._COUNTERS:
+            d = getattr(self, name)
+            d.clear()
+            d.update((int(t), v) for t, v in snap["counters"].get(name, []))
+        self.faults = [tuple(f) for f in snap.get("faults", [])]
+        self.positions = set(snap.get("positions", []))
+        self._seen = set(map(tuple, snap.get("seen", [])))
+        self.meta = dict(snap.get("meta", {}))
+        self.spans = SpanLog.from_dicts(snap.get("spans", []))
+
     def as_dict(self) -> dict:
         """JSON-ready dump: summary, per-step series, faults, spans."""
         return {
