@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""PR-acceptance gate over ``BENCH_sweep.json`` and ``BENCH_dense.json``.
+"""PR-acceptance gate over the ``BENCH_*.json`` artifacts.
 
-Run after ``benchmarks/bench_sweep.py`` and ``benchmarks/bench_dense.py``
-(CI does; see the ``bench-smoke`` job).  Checks, in order:
+Run after ``benchmarks/bench_sweep.py``, ``bench_dense.py``,
+``bench_delta.py`` and ``bench_service.py`` (CI does; see the
+``bench-smoke`` job).  Checks, in order:
 
 1. **sweep speedup** — with >= 4 workers on a >= 4-CPU machine, the
    parallel sweep must not be slower than serial (``speedup >= 1.0``;
@@ -35,7 +36,13 @@ Run after ``benchmarks/bench_sweep.py`` and ``benchmarks/bench_dense.py``
    runs spend comparatively more time in cache IO), with every edit
    served by a replay (zero fallbacks) and the replayed rows asserted
    identical to full recomputes.
-7. **differential tests** — the dense-vs-greedy bit-identical suites
+7. **service latency** — ``BENCH_service.json`` must show the
+   in-memory cache-hit p50 >= 20x cheaper than a cold-miss p50, all
+   duplicate submissions coalesced onto exactly one execution, and
+   coalesced == independent response bytes (the service tier's
+   "serving is essentially free" contract; the ratio applies smoke or
+   not, since both sides shrink together).
+8. **differential tests** — the dense-vs-greedy bit-identical suites
    (``tests/test_dense.py`` fault-free, ``tests/test_dense_faults.py``
    faulted) and the delta-replay-vs-recompute suite
    (``tests/test_delta.py``) must run with zero skips; a skipped
@@ -73,6 +80,10 @@ MIN_FAULTED_OVER_GREEDY = 2.0
 # sanity floor applies there.
 MIN_DELTA_SPEEDUP = 2.0
 MIN_DELTA_SPEEDUP_SMOKE = 1.2
+# In-memory cache-hit p50 vs cold-miss p50 on the service front-end; a
+# pure ratio of two latencies measured in the same run, so it applies
+# smoke or not.
+MIN_SERVICE_HIT_RATIO = 20.0
 
 
 def _fail(msg: str) -> bool:
@@ -217,6 +228,57 @@ def check_delta(payload: dict) -> bool:
     return failed
 
 
+def check_service(payload: dict) -> bool:
+    """Service-front-end gates over ``BENCH_service.json``.
+
+    Three properties: warm serving must be essentially free relative to
+    a cold miss (the latency ratio), duplicate in-flight submissions
+    must coalesce onto exactly one execution, and a coalesced response
+    must be byte-identical to one computed independently (a coalescing
+    or caching bug that changed bytes would silently poison every
+    rider).
+    """
+    rec = (payload.get("sections") or {}).get("service")
+    if not rec:
+        return _fail(
+            "BENCH_service.json has no 'service' section — the request "
+            "path is unmeasured"
+        )
+    failed = False
+    ratio = rec.get("hit_speedup_p50")
+    if ratio is None or ratio < MIN_SERVICE_HIT_RATIO:
+        failed = _fail(
+            f"service cache-hit p50 only {ratio}x cheaper than a cold "
+            f"miss (< {MIN_SERVICE_HIT_RATIO}x)"
+        )
+    else:
+        print(
+            f"[bench_compare] service hit p50 {rec.get('hit_p50_ms')}ms vs "
+            f"miss p50 {rec.get('miss_p50_ms')}ms ({ratio}x): ok"
+        )
+    execs = rec.get("coalesced_executions")
+    waiters = rec.get("coalesced_waiters", "?")
+    if execs != 1:
+        failed = _fail(
+            f"service: {waiters} duplicate submissions ran {execs} "
+            "executions (expected exactly 1)"
+        )
+    else:
+        print(
+            f"[bench_compare] service coalescing: {waiters} waiters -> "
+            "1 execution: ok"
+        )
+    if not rec.get("results_identical", False):
+        failed = _fail(
+            "service: coalesced and independent submissions were not "
+            "byte-identical"
+        )
+    rps = rec.get("requests_per_sec")
+    if rps is not None:
+        print(f"[bench_compare] service sustained {rps:,.0f} req/s (informational)")
+    return failed
+
+
 def check_throughput(payload: dict) -> bool:
     failed = False
     records = {"executor": payload.get("executor", {})}
@@ -299,6 +361,11 @@ def main(argv: list[str] | None = None) -> int:
         help="path to BENCH_delta.json (default: repo root)",
     )
     parser.add_argument(
+        "--service",
+        default=str(REPO_ROOT / "BENCH_service.json"),
+        help="path to BENCH_service.json (default: repo root)",
+    )
+    parser.add_argument(
         "--no-tests",
         action="store_true",
         help="skip running the differential test suite",
@@ -333,6 +400,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         failed |= check_delta(json.loads(delta_path.read_text()))
+    service_path = pathlib.Path(args.service)
+    if not service_path.exists():
+        failed |= _fail(
+            f"{service_path} not found — run benchmarks/bench_service.py first"
+        )
+    else:
+        failed |= check_service(json.loads(service_path.read_text()))
     if not args.no_tests:
         failed |= check_differential_tests()
 

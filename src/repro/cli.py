@@ -9,6 +9,12 @@ Subcommands
 ``all [--full] [--out DIR]``
     Run every experiment, print the tables, and write one text file per
     experiment (the inputs to EXPERIMENTS.md).
+``serve [--port P | --demo]``
+    Run the simulation service (asyncio front-end over the sweep
+    engine): JSON-lines TCP server, or an in-process demo workload that
+    prints the service metrics.
+``client --task NAME --config JSON``
+    One-shot client for a running ``repro serve``.
 ``info``
     Package / paper summary.
 """
@@ -212,6 +218,115 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_from_args(args: argparse.Namespace):
+    """Build the (runner, service) pair behind ``repro serve``."""
+    from repro.runner import SweepRunner
+    from repro.service import SimulationService
+
+    runner = SweepRunner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else default_cache_dir(),
+        profile=True,
+        delta=not args.no_delta,
+        cache_limit=args.cache_limit,
+    )
+    return SimulationService(
+        runner,
+        lru_entries=args.lru,
+        max_queue=args.max_queue,
+        max_concurrency=args.concurrency,
+        per_client=args.per_client,
+    )
+
+
+async def _serve_forever(service, host: str, port: int) -> None:
+    from repro.service import TASKS, start_server
+
+    server = await start_server(service, host=host, port=port)
+    addr = server.sockets[0].getsockname()
+    print(
+        f"repro service listening on {addr[0]}:{addr[1]} "
+        f"(tasks: {', '.join(sorted(TASKS))}; ctrl-c to stop)"
+    )
+    async with server:
+        await server.serve_forever()
+
+
+async def _serve_demo(service, clients: int, requests: int) -> None:
+    """In-process demo workload: ``clients`` concurrent clients issuing
+    ``requests`` each, cycling a small config set so duplicates hit the
+    memory tier and concurrent duplicates coalesce."""
+    import asyncio
+
+    from repro.service import ServiceOverloaded
+
+    async def one_client(ci: int) -> None:
+        for ri in range(requests):
+            config = {"n": 24, "steps": 6, "rep": ri % 3}
+            try:
+                await service.submit(
+                    "overlap_point", config, client=f"demo-{ci}"
+                )
+            except ServiceOverloaded:
+                pass  # counted in the metrics summary
+
+    await asyncio.gather(*(one_client(i) for i in range(clients)))
+    await service.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runner import shutdown_pool
+    from repro.telemetry.service import format_service_metrics
+
+    service = _service_from_args(args)
+    try:
+        if args.demo:
+            asyncio.run(_serve_demo(service, args.clients, args.requests))
+        else:
+            asyncio.run(_serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        shutdown_pool()
+    print(format_service_metrics(service.metrics))
+    if service.runner.profile is not None and not args.demo:
+        from repro.telemetry.profile import format_profile
+
+        print(format_profile(service.runner.profile))
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service import request
+
+    try:
+        config = json.loads(args.config)
+    except json.JSONDecodeError as exc:
+        print(f"--config must be a JSON object: {exc}", file=sys.stderr)
+        return 2
+    payload = {
+        "id": "cli",
+        "task": args.task,
+        "config": config,
+        "stream": args.stream,
+    }
+    if args.client:
+        payload["client"] = args.client
+    try:
+        events = asyncio.run(request(args.host, args.port, payload))
+    except OSError as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    for event in events:
+        print(json.dumps(event, sort_keys=True))
+    return 0 if events and events[-1].get("event") == "done" else 1
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(
         f"repro {__version__} - reproduction of Andrews, Leighton, Metaxas "
@@ -354,6 +469,99 @@ def build_parser() -> argparse.ArgumentParser:
         "chrome://tracing or Perfetto)",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation service (JSON-lines TCP, or --demo)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=7996, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="skip the TCP server: run an in-process demo workload "
+        "(--clients x --requests, with duplicates) and print the "
+        "service metrics",
+    )
+    p_serve.add_argument(
+        "--clients", type=int, default=4, help="demo: concurrent clients"
+    )
+    p_serve.add_argument(
+        "--requests", type=int, default=6, help="demo: requests per client"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes behind the service (default 1)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true", help="disable the JSON disk cache"
+    )
+    p_serve.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="disable checkpoint suffix-replay for near-miss configs",
+    )
+    p_serve.add_argument(
+        "--cache-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the disk cache to N entries",
+    )
+    p_serve.add_argument(
+        "--lru",
+        type=int,
+        default=512,
+        metavar="N",
+        help="in-memory LRU capacity (serialised results)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        metavar="N",
+        help="admission bound: requests admitted at once before shedding",
+    )
+    p_serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="admitted requests executing simultaneously",
+    )
+    p_serve.add_argument(
+        "--per-client",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admitted requests one client name may hold",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="one-shot client for a running `repro serve`"
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7996)
+    p_client.add_argument(
+        "--task", default="overlap_point", help="registered task name"
+    )
+    p_client.add_argument(
+        "--config", default="{}", help='task config as JSON, e.g. \'{"n": 64}\''
+    )
+    p_client.add_argument(
+        "--client", default=None, help="client name for admission control"
+    )
+    p_client.add_argument(
+        "--stream",
+        action="store_true",
+        help="print lifecycle events as they arrive, not just the result",
+    )
+    p_client.set_defaults(func=_cmd_client)
 
     sub.add_parser("info", help="package summary").set_defaults(func=_cmd_info)
     return parser

@@ -341,6 +341,26 @@ class SweepCache:
 _pool = None
 _pool_workers = 0
 
+# Thread executor backing the awaitable submit path when there is no
+# process pool to dispatch to (workers == 1) and for delta suffix
+# replays (checkpoint blobs are parent-side; shipping them to workers
+# costs more than the replay).  Threads serialise pure-Python compute
+# on the GIL, but the point of `submit` is keeping the *caller* (an
+# asyncio event loop) unblocked, not parallel speedup — `map` remains
+# the parallel path.
+_threads = None
+
+
+def _get_threads():
+    global _threads
+    if _threads is None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        _threads = ThreadPoolExecutor(
+            max_workers=8, thread_name_prefix="sweep-submit"
+        )
+    return _threads
+
 
 def _worker_init() -> None:
     """Pay the simulator import once per worker, at spawn time."""
@@ -366,12 +386,15 @@ def _get_pool(workers: int):
 
 
 def shutdown_pool() -> None:
-    """Tear down the shared worker pool (idempotent)."""
-    global _pool, _pool_workers
+    """Tear down the shared worker pool and submit threads (idempotent)."""
+    global _pool, _pool_workers, _threads
     if _pool is not None:
         _pool.shutdown(wait=False, cancel_futures=True)
         _pool = None
         _pool_workers = 0
+    if _threads is not None:
+        _threads.shutdown(wait=False, cancel_futures=True)
+        _threads = None
 
 
 atexit.register(shutdown_pool)
@@ -485,6 +508,66 @@ def _match_delta(spec, cands: list[dict], cfg: dict):
     return best
 
 
+class SubmitTicket:
+    """Handle for one :meth:`SweepRunner.submit` request.
+
+    ``future`` is a :class:`concurrent.futures.Future` resolving to the
+    config's (JSON-round-tripped) result — awaitable from asyncio via
+    ``asyncio.wrap_future``.  ``origin`` says how the request is being
+    served: ``"cache"`` (disk hit, already resolved), ``"delta"``
+    (matched a cached neighbour, replaying the suffix on a thread) or
+    ``"compute"`` (full run on the pool, or a thread at workers == 1).
+    """
+
+    __slots__ = ("key", "origin", "future", "_inner")
+
+    def __init__(self, key: str, origin: str, future, inner=None) -> None:
+        self.key = key
+        self.origin = origin
+        self.future = future
+        self._inner = inner
+
+    def cancel(self) -> bool:
+        """Best-effort cancel: true if any backing future was cancelled.
+
+        Work already running in a worker cannot be interrupted; it runs
+        to completion and its result still lands in the cache (so the
+        abandoned compute is not wasted), but ``future`` is cancelled
+        and nobody waits on it.
+        """
+        cancelled = self._inner.cancel() if self._inner is not None else False
+        return self.future.cancel() or cancelled
+
+
+def _chain_future(inner, outer, transform=None) -> None:
+    """Resolve ``outer`` from ``inner``'s outcome (cancel-safe).
+
+    ``transform`` runs on the inner result *before* ``outer`` resolves
+    and runs even when ``outer`` was already cancelled — it carries the
+    cache write, which must happen whether or not anyone still waits.
+    """
+
+    def _done(f) -> None:
+        if f.cancelled():
+            outer.cancel()
+            return
+        exc = f.exception()
+        if exc is not None:
+            if not outer.cancelled():
+                outer.set_exception(exc)
+            return
+        try:
+            value = f.result() if transform is None else transform(f.result())
+        except BaseException as exc2:  # noqa: BLE001 - must reach the waiter
+            if not outer.cancelled():
+                outer.set_exception(exc2)
+            return
+        if not outer.cancelled():
+            outer.set_result(value)
+
+    inner.add_done_callback(_done)
+
+
 class ProgressMeter:
     """Coarse per-config progress/ETA line on a stream.
 
@@ -595,6 +678,154 @@ class SweepRunner:
         self.last_delta_fallbacks = 0
         self.last_replayed_fraction: float | None = None
 
+    def prepare(
+        self,
+        fn: Callable[[dict], object],
+        config: dict,
+        version: str = "1",
+        seed_key: str | None = None,
+    ) -> tuple[str, dict]:
+        """``(cache key, seeded config copy)`` for one request.
+
+        The single source of truth for the key/seed derivation shared
+        by :meth:`map` and :meth:`submit` — callers that need the key
+        *before* dispatch (the service layer's in-memory LRU and
+        request coalescing) call this and then pass the returned config
+        on, guaranteed to hash identically.
+        """
+        cfg = dict(config)
+        if seed_key is not None and seed_key not in cfg:
+            cfg[seed_key] = config_seed(cfg)
+        tag = f"{fn.__module__}:{fn.__qualname__}"
+        return config_hash(tag, version, cfg), cfg
+
+    def submit(
+        self,
+        fn: Callable[[dict], object],
+        config: dict,
+        version: str = "1",
+        seed_key: str | None = None,
+    ) -> SubmitTicket:
+        """Awaitable single-config path: never blocks the caller.
+
+        Where :meth:`map` runs a whole grid and returns results,
+        ``submit`` dispatches **one** config and immediately returns a
+        :class:`SubmitTicket` whose ``future`` resolves to the result —
+        the submit path a long-lived asyncio front-end
+        (:class:`repro.service.SimulationService`) needs.  The full
+        :meth:`map` semantics apply per config: cache lookup first
+        (a hit returns an already-resolved ticket, ``origin="cache"``),
+        then a delta-neighbour match for delta-aware tasks
+        (``origin="delta"``, replayed on a thread), then a full compute
+        (``origin="compute"``) on the persistent process pool when
+        ``workers > 1``, else on a fallback thread.  Results are JSON
+        round-tripped and written to the cache exactly as ``map``
+        writes them, so the two paths share entries bit-for-bit.
+
+        Cache writes and profile records run on the completing
+        worker/callback thread; :class:`SweepCache` writes are
+        atomic-rename, so concurrent submits are safe.  The per-map
+        ``last_*`` instrumentation fields are **not** touched.
+        """
+        from concurrent.futures import Future
+
+        key, cfg = self.prepare(fn, config, version, seed_key)
+        tag = f"{fn.__module__}:{fn.__qualname__}"
+        prof = self.profile
+        t0 = time.perf_counter() if prof is not None else 0.0
+        cached = self.cache.get(key) if self.cache is not None else None
+        if prof is not None:
+            prof.record_cache(
+                int(cached is not None),
+                int(cached is None),
+                time.perf_counter() - t0,
+            )
+        out: Future = Future()
+        if cached is not None:
+            out.set_result(cached)
+            return SubmitTicket(key, "cache", out)
+
+        spec = getattr(fn, "__delta__", None)
+        if spec is not None and self.cache is not None and self.delta:
+            cands = self.cache.delta_candidates(tag, version)
+            match = _match_delta(spec, cands, cfg) if cands else None
+            if match is not None:
+                cand, ckm = match
+
+                def _replay():
+                    blobs = self.cache.load_checkpoints(cand["key"])
+                    oc = self._replay_one(spec, cand, ckm, cfg, blobs)
+                    self.cache.put(
+                        key, cfg, oc["result"],
+                        task=tag, version=version, delta=oc["payload"],
+                    )
+                    if prof is not None:
+                        prof.record_delta(
+                            int(oc["hit"]), int(not oc["hit"]), oc["frac"]
+                        )
+                    return oc["result"]
+
+                inner = _get_threads().submit(_replay)
+                _chain_future(inner, out)
+                return SubmitTicket(key, "delta", out, inner)
+
+        if self.workers > 1:
+            pool, _ = _get_pool(self.workers)
+            run_chunk = _run_chunk_delta if spec is not None else _run_chunk
+            inner = pool.submit(run_chunk, fn, canonical_json([cfg]))
+
+            def _store(raw: str):
+                envelope = json.loads(raw)
+                if spec is not None:
+                    oc = envelope["outcomes"][0]
+                    result = oc["result"]
+                    delta = {"meta": oc["meta"], "checkpoints": oc["checkpoints"]}
+                else:
+                    result = envelope["results"][0]
+                    delta = None
+                if self.cache is not None:
+                    if delta is not None:
+                        self.cache.put(
+                            key, cfg, result,
+                            task=tag, version=version, delta=delta,
+                        )
+                    else:
+                        self.cache.put(key, cfg, result)
+                if prof is not None:
+                    prof.record_chunk(envelope["pid"], 1, envelope["wall"])
+                return result
+
+            _chain_future(inner, out, _store)
+            return SubmitTicket(key, "compute", out, inner)
+
+        def _compute():
+            t1 = time.perf_counter()
+            if spec is not None:
+                oc = spec.capture(dict(cfg))
+                result = self._normalise(oc.result)
+                delta = {
+                    "meta": self._normalise(oc.meta or {}),
+                    "checkpoints": [c.to_json() for c in oc.checkpoints],
+                }
+            else:
+                result = self._normalise(fn(dict(cfg)))
+                delta = None
+            if self.cache is not None:
+                if delta is not None:
+                    self.cache.put(
+                        key, cfg, result,
+                        task=tag, version=version, delta=delta,
+                    )
+                else:
+                    self.cache.put(key, cfg, result)
+            if prof is not None:
+                prof.record_inline(time.perf_counter() - t1)
+            return result
+
+        inner = _get_threads().submit(_compute)
+        _chain_future(inner, out)
+        return SubmitTicket(key, "compute", out, inner)
+
     def map(
         self,
         fn: Callable[[dict], object],
@@ -610,13 +841,10 @@ class SweepRunner:
         gets ``config_seed(config)`` injected under it before the task
         (or the cache) sees it.
         """
-        configs = [dict(cfg) for cfg in configs]
-        if seed_key is not None:
-            for cfg in configs:
-                if seed_key not in cfg:
-                    cfg[seed_key] = config_seed(cfg)
         tag = f"{fn.__module__}:{fn.__qualname__}"
-        keys = [config_hash(tag, version, cfg) for cfg in configs]
+        prepared = [self.prepare(fn, cfg, version, seed_key) for cfg in configs]
+        keys = [key for key, _ in prepared]
+        configs = [cfg for _, cfg in prepared]
 
         t0 = time.perf_counter()
         results: list = [None] * len(configs)
@@ -784,9 +1012,6 @@ class SweepRunner:
         captures, so the new entry serves future deltas as well as a
         fully recomputed one.
         """
-        from repro.core.checkpoint import ExecutorCheckpoint
-        from repro.delta import DeltaUnsupported
-
         replayed: list[float] = []
         hits = 0
         fallbacks = 0
@@ -797,65 +1022,24 @@ class SweepRunner:
             cand, ckm = jobs[i]
             if cand["key"] not in sidecars:
                 sidecars[cand["key"]] = self.cache.load_checkpoints(cand["key"])
-            blobs = sidecars[cand["key"]]
-            blob = next(
-                (
-                    b
-                    for b in blobs
-                    if b.get("time") == ckm.get("time")
-                    and b.get("label") == ckm.get("label")
-                ),
-                None,
-            )
-            out = None
-            if blob is not None:
-                try:
-                    out = spec.resume(
-                        dict(configs[i]), ExecutorCheckpoint.from_json(blob)
-                    )
-                except DeltaUnsupported:
-                    out = None
-            if out is None:
-                fallbacks += 1
-                if self.delta_strict:
-                    raise RuntimeError(
-                        "delta-strict: full recompute fallback for config "
-                        f"{configs[i]!r} (checkpoint t={ckm.get('time')} of "
-                        f"entry {cand['key'][:12]} unusable)"
-                    )
-                oc = spec.capture(configs[i])
-                results[i] = self._normalise(oc.result)
-                payload = {
-                    "meta": self._normalise(oc.meta or {}),
-                    "checkpoints": [c.to_json() for c in oc.checkpoints],
-                }
-            else:
+            oc = self._replay_one(spec, cand, ckm, configs[i], sidecars[cand["key"]])
+            results[i] = oc["result"]
+            if oc["hit"]:
                 hits += 1
-                out.resumed_at = ckm.get("time")
-                results[i] = self._normalise(out.result)
-                meta = self._normalise(out.meta or {})
-                makespan = meta.get("makespan")
-                if isinstance(makespan, int) and makespan > 0:
-                    frac = (makespan - out.resumed_at) / makespan
-                    replayed.append(max(0.0, min(1.0, frac)))
-                prefix = [
-                    b for b in blobs if b.get("time", 0) <= out.resumed_at
-                ]
-                payload = {
-                    "meta": meta,
-                    "checkpoints": prefix
-                    + [c.to_json() for c in out.checkpoints],
-                }
+                if oc["frac"] is not None:
+                    replayed.append(oc["frac"])
+            else:
+                fallbacks += 1
             self.cache.put(
                 keys[i],
                 configs[i],
                 results[i],
                 task=tag,
                 version=version,
-                delta=payload,
+                delta=oc["payload"],
             )
             if prog:
-                prog.step(delta=out is not None)
+                prog.step(delta=oc["hit"])
         self.last_delta_hits = hits
         self.last_delta_fallbacks = fallbacks
         if replayed:
@@ -864,6 +1048,73 @@ class SweepRunner:
             self.profile.record_delta(
                 hits, fallbacks, self.last_replayed_fraction
             )
+
+    def _replay_one(self, spec, cand, ckm, cfg: dict, blobs: list) -> dict:
+        """Serve one matched delta job; shared by :meth:`map` and
+        :meth:`submit`.
+
+        Restores ``cand``'s checkpoint ``ckm`` under the edited config
+        ``cfg`` and replays the suffix, falling back to a full capture
+        when the checkpoint is unusable (missing blob, or the executor
+        declines it) — or raising under ``delta_strict``.  Returns
+        ``{"result", "payload", "hit", "frac"}``: the normalised
+        result, the cache delta payload (the neighbour's still-valid
+        prefix blobs merged with the suffix's own captures), whether a
+        replay actually served it, and the replayed fraction of the
+        run's makespan (``None`` on fallback or unknown makespan).
+        """
+        from repro.core.checkpoint import ExecutorCheckpoint
+        from repro.delta import DeltaUnsupported
+
+        blob = next(
+            (
+                b
+                for b in blobs
+                if b.get("time") == ckm.get("time")
+                and b.get("label") == ckm.get("label")
+            ),
+            None,
+        )
+        out = None
+        if blob is not None:
+            try:
+                out = spec.resume(dict(cfg), ExecutorCheckpoint.from_json(blob))
+            except DeltaUnsupported:
+                out = None
+        if out is None:
+            if self.delta_strict:
+                raise RuntimeError(
+                    "delta-strict: full recompute fallback for config "
+                    f"{cfg!r} (checkpoint t={ckm.get('time')} of "
+                    f"entry {cand['key'][:12]} unusable)"
+                )
+            oc = spec.capture(dict(cfg))
+            return {
+                "result": self._normalise(oc.result),
+                "payload": {
+                    "meta": self._normalise(oc.meta or {}),
+                    "checkpoints": [c.to_json() for c in oc.checkpoints],
+                },
+                "hit": False,
+                "frac": None,
+            }
+        out.resumed_at = ckm.get("time")
+        result = self._normalise(out.result)
+        meta = self._normalise(out.meta or {})
+        frac = None
+        makespan = meta.get("makespan")
+        if isinstance(makespan, int) and makespan > 0:
+            frac = max(0.0, min(1.0, (makespan - out.resumed_at) / makespan))
+        prefix = [b for b in blobs if b.get("time", 0) <= out.resumed_at]
+        return {
+            "result": result,
+            "payload": {
+                "meta": meta,
+                "checkpoints": prefix + [c.to_json() for c in out.checkpoints],
+            },
+            "hit": True,
+            "frac": frac,
+        }
 
     @staticmethod
     def _normalise(result):

@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: the long-lived concurrent entry point.
+
+Everything below this package simulates *one* thing when asked; this
+package is where the repo turns into a server.  It is deliberately
+small — four modules, each one concern:
+
+:mod:`repro.service.core`
+    :class:`SimulationService` — request lifecycle: in-memory LRU hit,
+    in-flight coalescing, admission control/backpressure
+    (:class:`ServiceOverloaded`), dispatch via
+    :meth:`SweepRunner.submit`, progress streaming, cancellation.
+
+:mod:`repro.service.lru`
+    :class:`LRUCache` — the in-memory hot tier over the JSON disk
+    cache.
+
+:mod:`repro.service.tasks`
+    The named-task registry (:data:`TASKS`) — the allow-list of
+    simulations a network client may request.
+
+:mod:`repro.service.net`
+    JSON-lines TCP server/client (``repro serve`` / ``repro client``).
+
+See ``docs/ARCHITECTURE.md`` for the layer map and a full request
+walkthrough, and ``docs/OBSERVABILITY.md`` for the service metrics.
+"""
+
+from repro.service.core import ServiceOverloaded, SimulationService, TERMINAL_EVENTS
+from repro.service.lru import LRUCache
+from repro.service.net import request, start_server
+from repro.service.tasks import TASKS, get_task, overlap_point, ring_point
+
+__all__ = [
+    "LRUCache",
+    "ServiceOverloaded",
+    "SimulationService",
+    "TASKS",
+    "TERMINAL_EVENTS",
+    "get_task",
+    "overlap_point",
+    "request",
+    "ring_point",
+    "start_server",
+]

@@ -1,0 +1,69 @@
+"""Bounded in-memory LRU — the hot tier above the JSON ``SweepCache``.
+
+The disk cache (content-hash JSON files) makes repeat work *cheap*; a
+service fielding many requests a second wants repeats *free* — no open,
+no read, no parse of a just-served entry.  :class:`LRUCache` is the
+classic ``OrderedDict`` recency cache (modelled on the Redis-over-file
+two-tier layout in the CloudRouting cache scripts): ``get`` moves the
+entry to the MRU end, ``put`` evicts from the LRU end past capacity.
+
+The service stores serialised JSON *text* here, not objects — each hit
+is decoded fresh, so a client mutating its response dict cannot corrupt
+the copy served to the next client, and memory hits remain trivially
+byte-identical to disk hits (both are ``json.loads`` of the same
+serialisation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUCache:
+    """Recency-evicting dict of at most ``capacity`` entries."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str):
+        """The value for ``key`` (freshened to MRU), else ``None``."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._data[key]
+
+    def put(self, key: str, value) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry past capacity."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

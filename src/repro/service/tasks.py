@@ -1,0 +1,89 @@
+"""Named simulation tasks servable by :class:`SimulationService`.
+
+A network client names a task by string; the service resolves it here
+and hands the function to :class:`~repro.runner.SweepRunner`.  Task
+functions follow the runner contract — one ``dict`` config in, one
+JSON-serialisable row out, importable at module level (worker processes
+re-import them by qualified name) — and the registry doubles as the
+allow-list: a request naming anything else is rejected before it can
+reach the pool.
+
+Configs are plain scalars so they hash canonically
+(:func:`repro.runner.canonical_json`).  ``overlap_point`` simulates an
+OVERLAP run on a uniform array host; ``ring_point`` simulates a guest
+ring.  Both return the flat summary-row dict the experiment tables use.
+"""
+
+from __future__ import annotations
+
+from repro.core.overlap import simulate_overlap
+from repro.core.ring import simulate_ring
+from repro.machine.host import HostArray
+
+
+def overlap_point(config: dict) -> dict:
+    """One OVERLAP simulation on a uniform array host.
+
+    Config keys (all optional): ``n`` hosts, ``delay`` per link,
+    ``steps`` guest steps, ``block`` factor, ``c`` window constant,
+    ``engine`` tier.  Extra keys (e.g. a ``rep`` nonce to force
+    distinct cache entries) are ignored by the simulation but do
+    participate in the content hash.
+    """
+    host = HostArray.uniform(
+        int(config.get("n", 32)), delay=int(config.get("delay", 1))
+    )
+    res = simulate_overlap(
+        host,
+        steps=int(config.get("steps", 8)),
+        c=float(config.get("c", 4.0)),
+        block=int(config.get("block", 1)),
+        verify=bool(config.get("verify", False)),
+        engine=str(config.get("engine", "auto")),
+    )
+    return res.summary()
+
+
+def ring_point(config: dict) -> dict:
+    """One guest-ring simulation on a uniform array host.
+
+    Config keys (all optional): ``n`` hosts, ``delay`` per link,
+    ``steps`` guest steps, ``copies`` assignment copies, ``engine``.
+    """
+    host = HostArray.uniform(
+        int(config.get("n", 32)), delay=int(config.get("delay", 1))
+    )
+    res = simulate_ring(
+        host,
+        steps=int(config.get("steps", 8)),
+        copies=int(config.get("copies", 1)),
+        verify=bool(config.get("verify", False)),
+        engine=str(config.get("engine", "auto")),
+    )
+    return {
+        "n": res.host.n,
+        "m": res.m,
+        "steps": res.steps,
+        "slowdown": round(res.slowdown, 2),
+        "makespan": res.exec_result.stats.makespan,
+        "pebbles": res.exec_result.stats.pebbles,
+        "engine": res.engine,
+        "verified": res.verified,
+    }
+
+
+#: task name -> callable, the network-facing allow-list
+TASKS = {
+    "overlap_point": overlap_point,
+    "ring_point": ring_point,
+}
+
+
+def get_task(name: str):
+    """Resolve a task name; raises :class:`KeyError` naming the options."""
+    try:
+        return TASKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown task {name!r}; available: {', '.join(sorted(TASKS))}"
+        ) from None

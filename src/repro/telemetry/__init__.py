@@ -29,6 +29,12 @@ answers "why":
     :class:`~repro.runner.SweepRunner` sweeps: per-worker/per-chunk
     time, cache-hit vs recompute split.
 
+:mod:`repro.telemetry.service`
+    :class:`ServiceMetrics` — request-level counters, latency
+    percentiles, and per-request/execute spans for
+    :class:`~repro.service.SimulationService`; reconciles its
+    execution counters against the runner's :class:`SweepProfile`.
+
 Telemetry is strictly opt-in and observational: with no
 :class:`MetricsTimeline` attached, both executors take their pre-existing
 hot paths unchanged (the greedy plain loop and the dense bucket replay
@@ -39,15 +45,19 @@ event order — results stay bit-identical either way
 
 from repro.telemetry.chrome import chrome_events, to_chrome_trace, write_chrome_trace
 from repro.telemetry.profile import SweepProfile, format_profile
+from repro.telemetry.service import ServiceMetrics, format_service_metrics, percentile
 from repro.telemetry.spans import Span, SpanLog
 from repro.telemetry.timeline import MetricsTimeline
 
 __all__ = [
     "MetricsTimeline",
+    "ServiceMetrics",
     "Span",
     "SpanLog",
     "SweepProfile",
     "format_profile",
+    "format_service_metrics",
+    "percentile",
     "chrome_events",
     "to_chrome_trace",
     "write_chrome_trace",
