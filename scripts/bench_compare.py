@@ -2,8 +2,8 @@
 """PR-acceptance gate over the ``BENCH_*.json`` artifacts.
 
 Run after ``benchmarks/bench_sweep.py``, ``bench_dense.py``,
-``bench_delta.py`` and ``bench_service.py`` (CI does; see the
-``bench-smoke`` job).  Checks, in order:
+``bench_delta.py``, ``bench_service.py`` and ``bench_racing.py`` (CI
+does; see the ``bench-smoke`` job).  Checks, in order:
 
 1. **sweep speedup** — with >= 4 workers on a >= 4-CPU machine, the
    parallel sweep must not be slower than serial (``speedup >= 1.0``;
@@ -42,10 +42,19 @@ Run after ``benchmarks/bench_sweep.py``, ``bench_dense.py``,
    coalesced == independent response bytes (the service tier's
    "serving is essentially free" contract; the ratio applies smoke or
    not, since both sides shrink together).
-8. **differential tests** — the dense-vs-greedy bit-identical suites
+8. **tail-latency policies** — ``BENCH_racing.json`` must show
+   redundant-issue racing >= 1.25x better p99 step latency than
+   single-issue on grid average over the high-jitter/high-drop grid
+   (never worse on any point), work stealing never worse than the
+   static assignment on every skewed seed, value digests identical on
+   both grids, and the policy sweep rows identical across worker
+   counts.  The ratio gates apply smoke or not — both sides of each
+   comparison shrink together.
+9. **differential tests** — the dense-vs-greedy bit-identical suites
    (``tests/test_dense.py`` fault-free, ``tests/test_dense_faults.py``
-   faulted) and the delta-replay-vs-recompute suite
-   (``tests/test_delta.py``) must run with zero skips; a skipped
+   faulted), the delta-replay-vs-recompute suite
+   (``tests/test_delta.py``) and the policy-vs-single-issue suite
+   (``tests/test_racing.py``) must run with zero skips; a skipped
    differential test would let the fast path drift from the reference
    silently.  ``--no-tests`` omits this (e.g. when pytest is absent).
 
@@ -84,6 +93,12 @@ MIN_DELTA_SPEEDUP_SMOKE = 1.2
 # pure ratio of two latencies measured in the same run, so it applies
 # smoke or not.
 MIN_SERVICE_HIT_RATIO = 20.0
+# Racing p99 vs single-issue p99 on the high-jitter grid: 1.25x better
+# on grid average (racing p99 <= 0.8x single), never worse per point
+# (shared-segment drops stall both replicas, so the worst point may
+# degrade to parity — not below it).
+MIN_RACING_P99_MEAN = 1.25
+MIN_RACING_P99_POINT = 1.0
 
 
 def _fail(msg: str) -> bool:
@@ -279,6 +294,85 @@ def check_service(payload: dict) -> bool:
     return failed
 
 
+def check_racing(payload: dict) -> bool:
+    """Tail-latency policy gates over ``BENCH_racing.json``.
+
+    Four properties: racing must actually tame the tail it exists for
+    (the p99 ratio on the high-jitter grid), stealing must never make
+    a skewed assignment worse (else the rebalance is a liability),
+    both must be digest-identical to their single-issue ground truth
+    (a policy may change *when* pebbles complete, never their values),
+    and the policy sweep must be bit-identical at any worker count.
+    """
+    sections = payload.get("sections") or {}
+    failed = False
+    racing = sections.get("racing")
+    if not racing:
+        return _fail(
+            "BENCH_racing.json has no 'racing' section — the tail-latency "
+            "win is unmeasured"
+        )
+    mean = racing.get("p99_ratio_mean")
+    worst = racing.get("p99_ratio_min")
+    if mean is None or mean < MIN_RACING_P99_MEAN:
+        failed = _fail(
+            f"racing p99 only {mean}x better than single-issue on grid "
+            f"average (< {MIN_RACING_P99_MEAN}x)"
+        )
+    elif worst is None or worst < MIN_RACING_P99_POINT:
+        failed = _fail(
+            f"racing p99 {worst}x on the worst grid point "
+            f"(< {MIN_RACING_P99_POINT}x — racing made a point worse)"
+        )
+    else:
+        print(
+            f"[bench_compare] racing p99 {mean}x single-issue on average "
+            f"(worst point {worst}x) over {racing.get('grid', '?')} "
+            "high-jitter points: ok"
+        )
+    if not racing.get("digest_identical", False):
+        failed = _fail("racing grid did not assert digest identity")
+    clean = sections.get("clean")
+    if clean:
+        print(
+            f"[bench_compare] racing redundancy bill: "
+            f"{clean.get('message_ratio')}x messages on clean links "
+            "(informational)"
+        )
+    stealing = sections.get("stealing")
+    if not stealing:
+        failed = _fail(
+            "BENCH_racing.json has no 'stealing' section — the rebalance "
+            "is unmeasured"
+        )
+    else:
+        if not stealing.get("never_worse", False):
+            failed = _fail(
+                "stealing made a skewed seed worse than the static "
+                "assignment"
+            )
+        else:
+            print(
+                f"[bench_compare] stealing never worse, "
+                f"{stealing.get('speedup_mean')}x mean speedup over "
+                f"{stealing.get('grid', '?')} skewed seeds: ok"
+            )
+        if not stealing.get("digest_identical", False):
+            failed = _fail("stealing grid did not assert digest identity")
+    workers = sections.get("workers")
+    if not workers or not workers.get("results_identical", False):
+        failed = _fail(
+            "policy sweep rows were not asserted identical across worker "
+            "counts"
+        )
+    else:
+        print(
+            f"[bench_compare] policy sweep identical at "
+            f"{workers.get('workers')} workers: ok"
+        )
+    return failed
+
+
 def check_throughput(payload: dict) -> bool:
     failed = False
     records = {"executor": payload.get("executor", {})}
@@ -313,6 +407,7 @@ def check_differential_tests() -> bool:
         "tests/test_dense.py",
         "tests/test_dense_faults.py",
         "tests/test_delta.py",
+        "tests/test_racing.py",
         "-q",
         "-rs",
     ]
@@ -366,6 +461,11 @@ def main(argv: list[str] | None = None) -> int:
         help="path to BENCH_service.json (default: repo root)",
     )
     parser.add_argument(
+        "--racing",
+        default=str(REPO_ROOT / "BENCH_racing.json"),
+        help="path to BENCH_racing.json (default: repo root)",
+    )
+    parser.add_argument(
         "--no-tests",
         action="store_true",
         help="skip running the differential test suite",
@@ -407,6 +507,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         failed |= check_service(json.loads(service_path.read_text()))
+    racing_path = pathlib.Path(args.racing)
+    if not racing_path.exists():
+        failed |= _fail(
+            f"{racing_path} not found — run benchmarks/bench_racing.py first"
+        )
+    else:
+        failed |= check_racing(json.loads(racing_path.read_text()))
     if not args.no_tests:
         failed |= check_differential_tests()
 

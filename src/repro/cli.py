@@ -51,6 +51,7 @@ _TITLES = {
     "a3": "Ablation   - dataflow vs database redundancy",
     "a4": "Ablation   - multicast boundary streams",
     "r1": "Robustness - slowdown vs mid-run fault rate",
+    "w1": "Tail latency - execution policy vs link-jitter intensity",
     "x1": "Section 7  - open questions: delay variance, rings",
     "x2": "Section 5  - Theorem 8 in D dimensions",
     "x3": "Calibration - measured constants of the bounds",
@@ -93,7 +94,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     result = run_experiment(
-        args.id, quick=not args.full, engine=args.engine, **_sweep_kwargs(args)
+        args.id, quick=not args.full, engine=args.engine,
+        policy=args.policy, **_sweep_kwargs(args)
     )
     result.print()
     _print_profile(result)
@@ -107,7 +109,8 @@ def _cmd_all(args: argparse.Namespace) -> int:
     sweep_kwargs = _sweep_kwargs(args)
     for exp_id in list_experiments():
         result = run_experiment(
-            exp_id, quick=not args.full, engine=args.engine, **sweep_kwargs
+            exp_id, quick=not args.full, engine=args.engine,
+            policy=args.policy, **sweep_kwargs
         )
         result.print()
         _print_profile(result)
@@ -394,6 +397,16 @@ def build_parser() -> argparse.ArgumentParser:
             "the dense fast path when possible (default), dense forces "
             "it, greedy forces the event-driven engine; results are "
             "bit-identical either way",
+        )
+        p.add_argument(
+            "--policy",
+            choices=(
+                "single", "racing", "stealing", "racing+stealing",
+            ),
+            default=None,
+            help="execution policy for policy-aware experiments (w1): "
+            "single-issue (default), redundant-issue racing, work "
+            "stealing, or both; other experiments ignore it",
         )
         p.add_argument(
             "--telemetry",

@@ -99,6 +99,11 @@ class ExecutorCheckpoint:
     #: run had a timeline attached); restoring *with* telemetry
     #: requires it.
     telemetry: dict | None = None
+    #: Row-completion times at capture (``step_done[t]`` = host step row
+    #: ``t``'s last pebble finished, 0 if not yet) — the per-step
+    #: latency prefix a resume must inherit.  None on legacy snapshots,
+    #: which a resume rejects as ``DeltaUnsupported``.
+    step_done: list | None = None
 
     def summary(self) -> dict:
         """Headline numbers (JSON-ready; arrays omitted)."""
@@ -160,6 +165,9 @@ class ExecutorCheckpoint:
             "drops_consumed": [list(row) for row in self.drops_consumed],
             "counters": dict(self.counters),
             "telemetry": self.telemetry,
+            "step_done": (
+                None if self.step_done is None else list(self.step_done)
+            ),
         }
 
     @classmethod
@@ -205,4 +213,5 @@ class ExecutorCheckpoint:
             drops_consumed=[list(row) for row in blob.get("drops_consumed", [])],
             counters=dict(blob.get("counters", {})),
             telemetry=blob.get("telemetry"),
+            step_done=blob.get("step_done"),
         )

@@ -121,6 +121,7 @@ def simulate_composed(
     telemetry=None,
     faults=None,
     policy=None,
+    recovery=None,
 ) -> ComposedResult:
     """Theorem 5 on a host array: guest of ``~ n' h0_block q`` columns,
     slowdown ``O(sqrt(d_ave) * polylog)``.
@@ -134,19 +135,31 @@ def simulate_composed(
     attaches a :class:`~repro.telemetry.timeline.MetricsTimeline`
     (both tiers).
     """
+    from repro.core.assignment import steal_rebalance
+    from repro.core.racing import split_policy
+
     program = program or CounterProgram()
+    exec_policy, recovery = split_policy(policy, recovery)
     killing = kill_and_label(host, c)
     if q is None:
         q = max(1, math.isqrt(int(round(host.d_ave))))
     assignment = composed_assignment(killing, q, h0_block)
+    steal_moves: list = []
+    if exec_policy.stealing:
+        assignment, steal_moves = steal_rebalance(
+            assignment, host, faults=faults, seed=exec_policy.steal_seed
+        )
     if steps is None:
         steps = max(4, 2 * q)
     executor = build_executor(
         engine, host, assignment, program, steps, bandwidth,
-        telemetry=telemetry, faults=faults, policy=policy,
+        telemetry=telemetry, faults=faults, policy=recovery,
+        exec_policy=exec_policy,
     )
     resolved = "dense" if isinstance(executor, DenseExecutor) else "greedy"
     exec_result = executor.run()
+    if steal_moves:
+        exec_result.stats.extras["steal_moves"] = len(steal_moves)
     verified = False
     if verify:
         # Reference built *after* the run: mid-run recovery may have
@@ -175,6 +188,7 @@ def simulate_composed_on_graph(
     telemetry=None,
     faults=None,
     policy=None,
+    recovery=None,
 ) -> ComposedResult:
     """Theorem 6: the composed simulation on an arbitrary connected
     host, reduced to an array by the Fact-3 embedding.
@@ -192,6 +206,7 @@ def simulate_composed_on_graph(
     result = simulate_composed(
         array, program, steps, c, q, h0_block, bandwidth, verify,
         engine=engine, telemetry=telemetry, faults=faults, policy=policy,
+        recovery=recovery,
     )
     result.embedding = embedding
     return result

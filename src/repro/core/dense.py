@@ -73,7 +73,7 @@ from repro.machine.guest import GuestArray
 from repro.machine.host import HostArray
 from repro.machine.mixing import mix2_v
 from repro.machine.programs import Program
-from repro.netsim.stats import SimStats
+from repro.netsim.stats import SimStats, latencies_from_completions
 
 #: Engine names accepted by the simulation front-ends.
 ENGINES = ("auto", "dense", "greedy")
@@ -102,6 +102,7 @@ def resolve_engine(
     trace=None,
     multicast: bool = False,
     tie_seed=None,
+    exec_policy=None,
 ) -> str:
     """Pick the execution tier for one simulation.
 
@@ -119,7 +120,13 @@ def resolve_engine(
     between fault boundaries, bit-identical to greedy), and
     ``forced_dead`` only shapes the assignment, which both tiers
     consume as-is.  The remaining fallback reasons are tracing,
-    multicast streams and scheduling jitter (``tie_seed``).
+    multicast streams, scheduling jitter (``tie_seed``) and
+    redundant-issue racing (``exec_policy``): raced subscriptions make
+    delivery order value-dependent on which replica wins, which the
+    dense skeleton's single-stream watermarks cannot express.  The
+    *stealing* half of an :class:`~repro.core.racing.ExecPolicy` never
+    forces greedy — it is a pre-execution assignment rebalance both
+    tiers consume as-is.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -133,6 +140,12 @@ def resolve_engine(
         reasons.append("multicast streams")
     if tie_seed is not None:
         reasons.append("scheduling jitter")
+    if exec_policy is not None:
+        from repro.core.racing import resolve_policy
+
+        resolved = resolve_policy(exec_policy)
+        if resolved.racing and resolved.fanout > 1:
+            reasons.append("redundant-issue racing")
     if not reasons:
         return "dense"
     if engine == "dense":
@@ -548,6 +561,10 @@ class DenseExecutor:
         makespan = 0
         n_pebbles = 0
         n_messages = 0
+        # Row-completion times (same convention as the greedy loops):
+        # step_done[t] = host step the last pebble of guest row t
+        # finished.  Consecutive diffs are the per-step latencies.
+        step_done = [0] * (T + 1)
 
         def try_start(p: int, now: int) -> None:
             nonlocal pending_events
@@ -650,6 +667,18 @@ class DenseExecutor:
             n_messages = ck.messages
             makespan = ck.makespan
             first_top = ck.first_top
+            if ck.step_done is None:
+                # A pre-step-latency checkpoint cannot finish
+                # bit-identically (the resumed run's distribution would
+                # miss the prefix) — fall back to a full recompute.
+                from repro.delta import DeltaUnsupported
+
+                raise DeltaUnsupported(
+                    "checkpoint predates step-latency capture "
+                    "(no step_done)"
+                )
+            for t, v in enumerate(ck.step_done):
+                step_done[t] = v
             # Re-base pending work onto this run's horizon: every used
             # column gained (T - ck.steps) rows relative to the capture.
             remaining = ck.remaining + sum(k_of[p] for p in self.used) * (
@@ -705,6 +734,7 @@ class DenseExecutor:
                     first_top=first_top,
                     events=events,
                     telemetry=tl_snap,
+                    step_done=list(step_done),
                 )
             )
 
@@ -725,6 +755,8 @@ class DenseExecutor:
                     remaining -= 1
                     if now > makespan:
                         makespan = now
+                    if now > step_done[t]:
+                        step_done[t] = now
                     if t == T and first_top is None:
                         first_top = now
                     c = lo_of[p] + i
@@ -903,6 +935,7 @@ class DenseExecutor:
         stats.pebbles = n_pebbles
         stats.messages = n_messages
         stats.pebble_hops = injections
+        stats.record_step_latency(latencies_from_completions(step_done))
         if self.telemetry is not None:
             self._feed_telemetry(
                 buckets,
@@ -1074,8 +1107,10 @@ def build_executor(
         trace=greedy_kwargs.get("trace"),
         multicast=greedy_kwargs.get("multicast", False),
         tie_seed=greedy_kwargs.get("tie_seed"),
+        exec_policy=greedy_kwargs.get("exec_policy"),
     )
     if resolved == "dense":
+        greedy_kwargs.pop("exec_policy", None)  # stealing already applied
         faults = greedy_kwargs.get("faults")
         if faults is not None and not faults.is_empty:
             from repro.core.dense_faults import FaultedDenseExecutor

@@ -48,7 +48,7 @@ import numpy as np
 from repro.core.checkpoint import ExecutorCheckpoint
 from repro.core.dense import _VEC_MIN_COLS, DenseExecutor
 from repro.netsim.faults import RecoveryPolicy
-from repro.netsim.stats import SimStats
+from repro.netsim.stats import SimStats, latencies_from_completions
 
 __all__ = ["ExecutorCheckpoint", "FaultedDenseExecutor"]
 
@@ -316,6 +316,9 @@ class FaultedDenseExecutor(DenseExecutor):
         n_lost = 0
         n_retries = 0
         first_top: int | None = None
+        # Row-completion times (max over every epoch's replicas), the
+        # same convention as the greedy loops and the fault-free tier.
+        step_done = [0] * (T + 1)
 
         def push(t: int, item: tuple) -> None:
             b = bucket_map.get(t)
@@ -546,6 +549,7 @@ class FaultedDenseExecutor(DenseExecutor):
                         "columns_lost": stats.columns_lost,
                     },
                     telemetry=None if tl is None else tl.snapshot(),
+                    step_done=list(step_done),
                 )
             )
 
@@ -616,6 +620,15 @@ class FaultedDenseExecutor(DenseExecutor):
             progress = ck.progress
             makespan = ck.makespan
             first_top = ck.first_top
+            if ck.step_done is None:
+                from repro.delta import DeltaUnsupported
+
+                raise DeltaUnsupported(
+                    "checkpoint predates step-latency capture "
+                    "(no step_done)"
+                )
+            for t_row, v in enumerate(ck.step_done):
+                step_done[t_row] = v
             remaining = ck.remaining + sum(
                 self._k_of[p] for p in self.used
             ) * (T - ck.steps)
@@ -690,6 +703,8 @@ class FaultedDenseExecutor(DenseExecutor):
                         tl.pebble(now, p, c, t)
                     if now > makespan:
                         makespan = now
+                    if now > step_done[t]:
+                        step_done[t] = now
                     subs = self.subscribers.get((p, c))
                     if subs:
                         for dst in subs:
@@ -921,6 +936,7 @@ class FaultedDenseExecutor(DenseExecutor):
             tl.spans.close_all(makespan)
         self._injections = injections
         self.first_top_t = first_top
+        stats.record_step_latency(latencies_from_completions(step_done))
         return self._finish_faulted(stats, makespan)
 
     def _finish_faulted(self, stats: SimStats, makespan: int):

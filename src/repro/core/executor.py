@@ -41,9 +41,10 @@ from repro.machine.pebbles import (
     initial_value,
 )
 from repro.machine.programs import Program
+from repro.core.racing import ExecPolicy, resolve_policy
 from repro.netsim.events import EventQueue
 from repro.netsim.faults import LOST, FaultPlan, RecoveryPolicy
-from repro.netsim.stats import SimStats
+from repro.netsim.stats import SimStats, latencies_from_completions
 
 _DONE = 0
 _MSG = 1
@@ -137,6 +138,13 @@ class GreedyExecutor:
         "_rank",
         "faults",
         "policy",
+        "exec_policy",
+        "_racing",
+        "_raced",
+        "_step_done",
+        "_cancelled",
+        "_raced_wins",
+        "_raced_losses",
         "reassign",
         "_faulty",
         "_epoch",
@@ -173,6 +181,7 @@ class GreedyExecutor:
         policy: RecoveryPolicy | None = None,
         reassign=None,
         telemetry=None,
+        exec_policy: ExecPolicy | str | None = None,
     ) -> None:
         """Build an executor.
 
@@ -202,6 +211,14 @@ class GreedyExecutor:
         runs with zero telemetry branches; with a timeline attached the
         run dispatches to an instrumented copy of the same loop (fault
         runs check inline) — results are identical either way.
+
+        ``exec_policy`` selects the issue discipline
+        (:class:`~repro.core.racing.ExecPolicy` or a name string).
+        With ``racing`` each external column subscribes to up to
+        ``fanout`` nearest owners; deliveries are first-wins with
+        losers cancelled at the source or in flight.  Value digests
+        stay identical to the single-issue run — only timing, message
+        counts and the step-latency tail change.
         """
         if assignment.n != host.n:
             raise ValueError(
@@ -222,6 +239,19 @@ class GreedyExecutor:
         self.trace = trace
         self.telemetry = telemetry
         self.multicast = multicast
+        self.exec_policy = resolve_policy(exec_policy)
+        self._racing = self.exec_policy.racing and self.exec_policy.fanout > 1
+        if self._racing and multicast:
+            raise ValueError(
+                "racing and multicast are mutually exclusive: a multicast "
+                "stream shares one message among subscribers, so there is "
+                "no per-subscriber replica race to cancel"
+            )
+        self._step_done = None
+        self._cancelled = 0
+        self._raced_wins = 0
+        self._raced_losses = 0
+        self._raced: set[tuple[int, int]] = set()
         self._tie_seed = tie_seed
         self._make_rank()
         self.faults = faults
@@ -292,6 +322,8 @@ class GreedyExecutor:
 
         owners = self.assignment.owners()
         label = self.col_label
+        self._raced = set()
+        fanout = self.exec_policy.fanout if self._racing else 1
         for p in self.used:
             lo, hi = self.assignment.ranges[p]
             self.own_range[p] = (lo, hi)
@@ -322,11 +354,22 @@ class GreedyExecutor:
                 ext_vals[0] = initial_value(label(c))
                 pext[c] = [0, ext_vals]
                 candidates = owners[c]
-                q = min(
-                    candidates,
-                    key=lambda q: (self.host.distance(p, q), abs(q - p), q),
-                )
-                self.subscribers.setdefault((q, c), []).append(p)
+                if fanout > 1 and len(candidates) > 1:
+                    # Racing: subscribe to the ``fanout`` nearest owners;
+                    # their streams race and the first delivery wins.
+                    near = sorted(
+                        candidates,
+                        key=lambda q: (self.host.distance(p, q), abs(q - p), q),
+                    )[:fanout]
+                    for q in near:
+                        self.subscribers.setdefault((q, c), []).append(p)
+                    self._raced.add((p, c))
+                else:
+                    q = min(
+                        candidates,
+                        key=lambda q: (self.host.distance(p, q), abs(q - p), q),
+                    )
+                    self.subscribers.setdefault((q, c), []).append(p)
             self.ext[p] = pext
 
     # -- knowledge ------------------------------------------------------
@@ -407,6 +450,8 @@ class GreedyExecutor:
     def run(self) -> ExecResult:
         if self._faulty:
             return self._run_faulty()
+        if self._racing:
+            return self._run_racing()
         if self.telemetry is not None:
             return self._run_telemetry()
         stats = SimStats()
@@ -418,6 +463,7 @@ class GreedyExecutor:
         if T == 0 or remaining == 0:
             return self._finish(stats, 0)
 
+        sd = self._step_done = [0] * (T + 1)
         for p in self.used:
             self._try_start(p, 0, queue)
 
@@ -452,6 +498,8 @@ class GreedyExecutor:
                     trace.record(now, p, c, t)
                 if now > makespan:
                     makespan = now
+                if now > sd[t]:
+                    sd[t] = now
                 subs = subscribers_get((p, c))
                 if subs:
                     value = vals[p][c][t]
@@ -545,6 +593,7 @@ class GreedyExecutor:
         if T == 0 or remaining == 0:
             return self._finish(stats, 0)
 
+        sd = self._step_done = [0] * (T + 1)
         tl.spans.begin("epoch", 0, track="epochs", epoch=0)
         for p in self.used:
             self._try_start(p, 0, queue)
@@ -582,6 +631,8 @@ class GreedyExecutor:
                     trace.record(now, p, c, t)
                 if now > makespan:
                     makespan = now
+                if now > sd[t]:
+                    sd[t] = now
                 subs = subscribers_get((p, c))
                 if subs:
                     value = vals[p][c][t]
@@ -663,6 +714,155 @@ class GreedyExecutor:
         tl.spans.close_all(makespan)
         return self._finish(stats, makespan)
 
+    def _run_racing(self) -> ExecResult:
+        """Fault-free redundant-issue loop (``exec_policy`` races).
+
+        Each raced external column has up to ``fanout`` provider
+        streams; every delivery is tolerant first-wins:
+
+        * in-order (``t == watermark + 1``) — the winner; apply and
+          advance;
+        * duplicate (``t <= watermark``) — a losing replica's answer;
+          checked for value consistency against the winner and counted
+          as a raced loss;
+        * a gap is impossible fault-free (per-stream sends are FIFO and
+          a predecessor is only ever *cancelled* when the watermark
+          already covers it), so it stays a hard invariant error.
+
+        Cancellation is the oracle rule from "Low Latency via
+        Redundancy": a pebble the subscriber is already past is never
+        injected (cancelled at the source) and an in-flight copy is
+        dropped at its next relay hop — abandoned messages stop
+        consuming link slots immediately.
+        """
+        tl = self.telemetry
+        if tl is not None:
+            tl.meta.setdefault("engine", "greedy")
+        stats = SimStats()
+        queue = EventQueue()
+        T = self.T
+        makespan = 0
+        remaining = sum(1 for p in self.used for _ in self.done[p]) * T
+
+        if T == 0 or remaining == 0:
+            return self._finish(stats, 0)
+
+        sd = self._step_done = [0] * (T + 1)
+        if tl is not None:
+            tl.spans.begin("epoch", 0, track="epochs", epoch=0)
+        for p in self.used:
+            self._try_start(p, 0, queue)
+
+        fabric_hop = self.fabric.hop
+        delays = self.fabric.link_delays
+        busy = self.busy
+        done = self.done
+        vals = self.vals
+        ext = self.ext
+        raced = self._raced
+        subscribers_get = self.subscribers.get
+        try_start = self._try_start
+        push = queue.push
+        pop = queue.pop
+        trace = self.trace
+        n_pebbles = 0
+        n_messages = 0
+        n_cancelled = 0
+        n_wins = 0
+        n_losses = 0
+        while queue:
+            ev = pop()
+            now = ev.time
+            if ev.kind == _DONE:
+                p, c, t = ev.data
+                busy[p] = False
+                done[p][c] = t
+                n_pebbles += 1
+                remaining -= 1
+                if tl is not None:
+                    tl.pebble(now, p, c, t)
+                if trace is not None:
+                    trace.record(now, p, c, t)
+                if now > makespan:
+                    makespan = now
+                if now > sd[t]:
+                    sd[t] = now
+                subs = subscribers_get((p, c))
+                if subs:
+                    value = vals[p][c][t]
+                    for dst in subs:
+                        if ext[dst][c][0] >= t:
+                            # The race for (c, t) is over: cancel at the
+                            # source, never consuming a link slot.
+                            n_cancelled += 1
+                            if tl is not None:
+                                tl.cancel(now)
+                            continue
+                        n_messages += 1
+                        if tl is not None:
+                            tl.message(now)
+                        step = 1 if dst > p else -1
+                        arr = fabric_hop(p, step, now)
+                        if tl is not None:
+                            tl.send(arr - delays[p if step == 1 else p - 1], arr)
+                        push(arr, _MSG, (p + step, (dst,), c, t, value))
+                try_start(p, now, queue)
+            else:  # _MSG
+                pos, targets, c, t, value = ev.data
+                dst = targets[0]
+                if pos == dst:
+                    e = ext[pos][c]
+                    w = e[0]
+                    if t == w + 1:
+                        e[1][t] = value
+                        e[0] = t
+                        if (pos, c) in raced:
+                            n_wins += 1
+                        if tl is not None:
+                            tl.deliver(now)
+                        try_start(pos, now, queue)
+                    elif t <= w:
+                        # A losing replica's answer arrived end-to-end:
+                        # it must agree with the winner (the
+                        # digest-consistency check of the race).
+                        if e[1][t] != value:
+                            raise AssertionError(
+                                f"raced replicas disagree on ({c},{t}) at "
+                                f"{pos}: winner {e[1][t]!r} vs loser {value!r}"
+                            )
+                        n_losses += 1
+                    else:  # pragma: no cover - invariant guard
+                        raise AssertionError(
+                            f"out-of-order delivery of ({c},{t}) at {pos}: "
+                            f"have {w}"
+                        )
+                else:
+                    if ext[dst][c][0] >= t:
+                        # Cancelled in flight: the destination is past
+                        # this pebble, stop relaying it.
+                        n_cancelled += 1
+                        if tl is not None:
+                            tl.cancel(now)
+                    else:
+                        step = 1 if dst > pos else -1
+                        arr = fabric_hop(pos, step, now)
+                        if tl is not None:
+                            tl.send(
+                                arr - delays[pos if step == 1 else pos - 1], arr
+                            )
+                        push(arr, _MSG, (pos + step, targets, c, t, value))
+
+        stats.pebbles = n_pebbles
+        stats.messages = n_messages
+        self._cancelled = n_cancelled
+        self._raced_wins = n_wins
+        self._raced_losses = n_losses
+        if remaining:
+            raise self._deadlock(f"{remaining} pebbles never computed")
+        if tl is not None:
+            tl.spans.close_all(makespan)
+        return self._finish(stats, makespan)
+
     # -- fault-aware engine ----------------------------------------------
     def _deadlock(self, message: str) -> SimulationDeadlock:
         """Build a :class:`SimulationDeadlock` with full diagnostics."""
@@ -700,9 +900,23 @@ class GreedyExecutor:
         policy = self.policy
         self._streams = {}
         provider_of: dict[tuple[int, int], int] = {}
-        for (q, c), subs in self.subscribers.items():
-            for p in subs:
-                provider_of[(p, c)] = q
+        if self._racing:
+            # Raced columns have several providers; the stall record
+            # watches the *primary* (nearest) one, deterministically —
+            # dict overwrite order would pick an arbitrary replica.
+            host = self.host
+            providers: dict[tuple[int, int], list[int]] = {}
+            for (q, c), subs in self.subscribers.items():
+                for p in subs:
+                    providers.setdefault((p, c), []).append(q)
+            for (p, c), qs in providers.items():
+                provider_of[(p, c)] = min(
+                    qs, key=lambda q: (host.distance(p, q), abs(q - p), q)
+                )
+        else:
+            for (q, c), subs in self.subscribers.items():
+                for p in subs:
+                    provider_of[(p, c)] = q
         for (p, c), q in sorted(provider_of.items()):
             # [provider, attempts, retries consumed, watermark at last check]
             self._streams[(p, c)] = [q, 0, 0, self.ext[p][c][0]]
@@ -820,6 +1034,8 @@ class GreedyExecutor:
         if T == 0 or remaining == 0:
             return self._finish(stats, 0)
 
+        sd = self._step_done = [0] * (T + 1)
+        racing = self._racing
         if tl is not None:
             tl.meta.setdefault("engine", "greedy")
             tl.spans.begin("epoch", 0, track="epochs", epoch=0)
@@ -850,6 +1066,8 @@ class GreedyExecutor:
                     self.trace.record(now, p, c, t)
                 if now > makespan:
                     makespan = now
+                if now > sd[t]:
+                    sd[t] = now
                 subs = self.subscribers.get((p, c))
                 if subs:
                     value = self.vals[p][c][t]
@@ -877,6 +1095,14 @@ class GreedyExecutor:
                                 )
                     else:
                         for dst in subs:
+                            if racing:
+                                e = self.ext.get(dst, {}).get(c)
+                                if e is not None and e[0] >= t:
+                                    # Race over: cancel at the source.
+                                    self._cancelled += 1
+                                    if tl is not None:
+                                        tl.cancel(now)
+                                    continue
                             stats.messages += 1
                             if tl is not None:
                                 tl.message(now)
@@ -903,18 +1129,40 @@ class GreedyExecutor:
                 if pos == targets[0]:
                     e = self.ext.get(pos, {}).get(c)
                     # Unlike the plain loop, duplicates (t <= watermark,
-                    # from replays) and gaps (t > watermark + 1, after a
-                    # lost predecessor) are expected: apply only the next
-                    # in-order pebble, ignore the rest.
+                    # from replays or losing raced replicas) and gaps
+                    # (t > watermark + 1, after a lost predecessor) are
+                    # expected: apply only the next in-order pebble,
+                    # ignore the rest.
                     if e is not None and t == e[0] + 1:
                         e[1][t] = value
                         e[0] = t
                         self._progress += 1
+                        if racing and (pos, c) in self._raced:
+                            self._raced_wins += 1
                         if tl is not None:
                             tl.deliver(now)
                         self._try_start(pos, now, queue)
+                    elif racing and e is not None and t <= e[0]:
+                        # A losing raced replica: digest-consistency
+                        # check against the applied winner.
+                        if e[1][t] != value:
+                            raise AssertionError(
+                                f"raced replicas disagree on ({c},{t}) at "
+                                f"{pos}: winner {e[1][t]!r} vs loser "
+                                f"{value!r}"
+                            )
+                        self._raced_losses += 1
                     targets = targets[1:]
                 if targets:
+                    if racing and ep == self._epoch:
+                        e2 = self.ext.get(targets[0], {}).get(c)
+                        if e2 is not None and e2[0] >= t:
+                            # Cancelled in flight: stop relaying a
+                            # pebble the destination is already past.
+                            self._cancelled += 1
+                            if tl is not None:
+                                tl.cancel(now)
+                            continue
                     step = 1 if targets[0] > pos else -1
                     arr = hop(pos, step, now)
                     if arr is LOST:
@@ -1074,6 +1322,14 @@ class GreedyExecutor:
         stats.pebble_hops = self.fabric.total_injections
         stats.procs_used = len(self.used)
         stats.redundant = stats.pebbles - self.m * self.T
+        if self._step_done is not None:
+            stats.record_step_latency(
+                latencies_from_completions(self._step_done)
+            )
+        if self._racing:
+            stats.extras["cancelled_messages"] = self._cancelled
+            stats.extras["raced_wins"] = self._raced_wins
+            stats.extras["raced_losses"] = self._raced_losses
         result = ExecResult(stats, self.T, self.assignment)
         for p in self.used:
             for c, col_vals in self.vals[p].items():

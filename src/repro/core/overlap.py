@@ -18,9 +18,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.assignment import Assignment, assign_databases
+from repro.core.assignment import Assignment, assign_databases, steal_rebalance
 from repro.core.dense import DenseExecutor, resolve_engine
 from repro.core.executor import ExecResult, GreedyExecutor
+from repro.core.racing import split_policy
 from repro.core.killing import (
     KillingResult,
     kill_and_label,
@@ -50,6 +51,7 @@ class OverlapResult:
     embedding: ArrayEmbedding | None = None
     faults: FaultPlan | None = None
     engine: str = "greedy"  # execution tier actually used (resolved)
+    policy: str = "single"  # execution policy name (racing/stealing/...)
     telemetry: object | None = None  # MetricsTimeline when requested
     #: ExecutorCheckpoints captured during the run (dense tiers only;
     #: stride marks plus, on faulted runs, fault boundaries/resumes).
@@ -109,6 +111,23 @@ class OverlapResult:
             "redundancy": round(self.assignment.redundancy(), 3),
             "verified": self.verified,
         }
+        stats = self.exec_result.stats
+        lat = stats.step_latency_summary()
+        if lat is not None:
+            out.update(
+                step_p50=lat["p50"], step_p95=lat["p95"], step_p99=lat["p99"]
+            )
+        if self.policy != "single":
+            out["policy"] = self.policy
+        extras = stats.extras
+        if "cancelled_messages" in extras:
+            out.update(
+                cancelled_messages=extras["cancelled_messages"],
+                raced_wins=extras.get("raced_wins", 0),
+                raced_losses=extras.get("raced_losses", 0),
+            )
+        if "steal_moves" in extras:
+            out["steal_moves"] = extras["steal_moves"]
         if self.faults is not None and not self.faults.is_empty:
             stats = self.exec_result.stats
             out.update(
@@ -139,7 +158,8 @@ def simulate_overlap(
     verify: bool = True,
     forced_dead: set[int] | None = None,
     faults: FaultPlan | None = None,
-    policy: RecoveryPolicy | None = None,
+    policy=None,
+    recovery: RecoveryPolicy | None = None,
     min_copies: int | None = None,
     engine: str = "auto",
     telemetry=None,
@@ -177,6 +197,18 @@ def simulate_overlap(
         machinery; an empty/absent plan is bit-identical to the
         fault-free path.
     policy:
+        Execution policy: a name from
+        :data:`~repro.core.racing.POLICIES` (``"single"``,
+        ``"racing"``, ``"stealing"``, ``"racing+stealing"``) or an
+        :class:`~repro.core.racing.ExecPolicy`.  ``racing`` subscribes
+        each needed external column to its ``fanout`` nearest owners
+        and takes the first consistent delivery (losers are cancelled
+        down to the link level); ``stealing`` rebalances the assignment
+        with :func:`~repro.core.assignment.steal_rebalance` before the
+        run.  For backward compatibility a
+        :class:`~repro.netsim.faults.RecoveryPolicy` instance is
+        accepted here and treated as ``recovery=``.
+    recovery:
         Detection/recovery knobs (timeouts, retry budget, restart
         penalty); default :class:`~repro.netsim.faults.RecoveryPolicy`.
     min_copies:
@@ -216,12 +248,18 @@ def simulate_overlap(
         engine raises :class:`~repro.delta.DeltaUnsupported`.
     """
     program = program or CounterProgram()
+    exec_policy, policy = split_policy(policy, recovery)
     forced_dead = normalize_forced_dead(host.n, forced_dead)
     if steps is not None:
         steps = validate_steps(steps)
     copies = 1 if min_copies is None else min_copies
     killing = kill_and_label(host, c, forced_dead=forced_dead)
     assignment = assign_databases(killing, block, min_copies=copies)
+    steal_moves: list = []
+    if exec_policy.stealing:
+        assignment, steal_moves = steal_rebalance(
+            assignment, host, faults=faults, seed=exec_policy.steal_seed
+        )
     if steps is None:
         steps = default_steps(killing)
 
@@ -234,7 +272,11 @@ def simulate_overlap(
         )
 
     resolved = resolve_engine(
-        engine, faults=faults, policy=policy, forced_dead=forced_dead
+        engine,
+        faults=faults,
+        policy=policy,
+        forced_dead=forced_dead,
+        exec_policy=exec_policy,
     )
     executor = None
     if resolved == "dense":
@@ -284,7 +326,10 @@ def simulate_overlap(
             policy=policy,
             reassign=reassign,
             telemetry=telemetry,
+            exec_policy=exec_policy,
         ).run()
+    if steal_moves:
+        exec_result.stats.extras["steal_moves"] = len(steal_moves)
     schedule = build_schedule(killing.params, base_work=float(max(1, block)))
     verified = False
     if verify:
@@ -296,7 +341,8 @@ def simulate_overlap(
         verified = True
     return OverlapResult(
         host, killing, assignment, exec_result, schedule, steps, verified,
-        faults=faults, engine=resolved, telemetry=telemetry,
+        faults=faults, engine=resolved, policy=exec_policy.name,
+        telemetry=telemetry,
         checkpoints=list(executor.checkpoints) if executor is not None else [],
         first_top_t=executor.first_top_t if executor is not None else None,
     )
@@ -312,7 +358,8 @@ def simulate_overlap_on_graph(
     verify: bool = True,
     forced_dead: set | None = None,
     faults: FaultPlan | None = None,
-    policy: RecoveryPolicy | None = None,
+    policy=None,
+    recovery: RecoveryPolicy | None = None,
     min_copies: int | None = None,
     engine: str = "auto",
     telemetry=None,
@@ -364,6 +411,7 @@ def simulate_overlap_on_graph(
         forced_dead=forced_dead,
         faults=faults,
         policy=policy,
+        recovery=recovery,
         min_copies=min_copies,
         engine=engine,
         telemetry=telemetry,

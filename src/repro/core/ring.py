@@ -97,6 +97,7 @@ def simulate_ring(
     telemetry=None,
     faults=None,
     policy=None,
+    recovery=None,
 ) -> RingResult:
     """Simulate an ``m``-node unit-delay guest ring on an array host.
 
@@ -109,15 +110,24 @@ def simulate_ring(
     runs take it by default — bit-identical to greedy — including
     faulted ones (the segmented
     :class:`~repro.core.dense_faults.FaultedDenseExecutor`).
-    ``faults``/``policy`` script link-level fault injection (a
+    ``faults``/``recovery`` script link-level fault injection (a
     :class:`~repro.netsim.faults.FaultPlan` /
     :class:`~repro.netsim.faults.RecoveryPolicy`); node crashes are
     rejected on ring guests — recovery reassignment assumes the
-    standard array dependency structure.  ``telemetry`` (a
+    standard array dependency structure.  ``policy`` names the
+    execution policy (see :data:`~repro.core.racing.POLICIES`:
+    ``racing`` races replicated columns on the greedy engine,
+    ``stealing`` rebalances the assignment first; a
+    :class:`~repro.netsim.faults.RecoveryPolicy` passed here keeps its
+    historical ``recovery=`` meaning).  ``telemetry`` (a
     :class:`~repro.telemetry.timeline.MetricsTimeline`) is supported on
     both tiers.
     """
+    from repro.core.assignment import steal_rebalance
+    from repro.core.racing import split_policy
+
     program = program or CounterProgram()
+    exec_policy, recovery = split_policy(policy, recovery)
     m = m or host.n
     if m < 3:
         raise ValueError("a ring needs at least 3 nodes")
@@ -130,6 +140,11 @@ def simulate_ring(
         asg = _spread(host.n, m)
     else:
         asg = windowed_assignment(host.n, m, copies=copies)
+    steal_moves: list = []
+    if exec_policy.stealing:
+        asg, steal_moves = steal_rebalance(
+            asg, host, faults=faults, seed=exec_policy.steal_seed
+        )
     executor = build_executor(
         engine,
         host,
@@ -141,10 +156,13 @@ def simulate_ring(
         col_label=label,
         telemetry=telemetry,
         faults=faults,
-        policy=policy,
+        policy=recovery,
+        exec_policy=exec_policy,
     )
     resolved = "dense" if isinstance(executor, DenseExecutor) else "greedy"
     result = executor.run()
+    if steal_moves:
+        result.stats.extras["steal_moves"] = len(steal_moves)
     verified = False
     if verify:
         reference = GuestRing(m, program).run_reference_full(steps)

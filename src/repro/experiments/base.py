@@ -14,6 +14,7 @@ _EXPERIMENT_IDS = [
     "f1", "f2", "f3", "f4", "f5", "f6",
     "a1", "a2", "a3", "a4",
     "r1",
+    "w1",
     "x1", "x2", "x3", "x4", "x5",
 ]
 

@@ -1,0 +1,160 @@
+"""W1 — tail latency: execution policy vs. link-jitter intensity.
+
+Sweep the policy family of :mod:`repro.core.racing` (single-issue,
+redundant-issue racing, work stealing, and both) against scripted
+link jitter of growing intensity, on a replicated assignment
+(``min_copies=2`` — racing needs a second owner to race).  Every row
+reports the per-step latency percentiles (p50/p95/p99 host steps per
+guest step) threaded through :class:`~repro.netsim.stats.SimStats`,
+plus the racing cancellation ledger and the steal-move count.
+
+Expected shape: on clean links racing buys little and costs messages
+(the redundancy bill), while under heavy jitter the raced second
+replica dodges degraded links and drops, pulling p99 below the
+single-issue tail — the redundancy sweet-spot crossover of "Low
+Latency via Redundancy".  Stealing helps when jitter concentrates on a
+few hosts' links (their queues drain slower, so their columns migrate).
+
+Every policy run is digest-verified against the reference execution,
+so a policy can only ever change *when* pebbles complete, never their
+values.
+"""
+
+from __future__ import annotations
+
+from repro.core.overlap import simulate_overlap
+from repro.core.racing import POLICIES
+from repro.experiments.base import ExperimentResult
+from repro.machine.host import HostArray
+from repro.netsim.faults import FaultPlan
+from repro.runner import sweep
+
+#: Seed for the per-intensity jitter plans (fixed: W1 is deterministic).
+SEED = 1996
+
+#: Policy grid order (stable row order for reports and caching).
+POLICY_GRID = ("single", "racing", "stealing", "racing+stealing")
+
+
+def _policy_point(cfg: dict) -> dict:
+    """One (policy, jitter intensity) grid point (sweep task)."""
+    host = HostArray.uniform(cfg["n"], delay=cfg["delay"])
+    plan = None
+    if cfg["max_jitter"] > 0:
+        plan = FaultPlan.random(
+            host.n,
+            seed=cfg["seed"],
+            horizon=cfg["horizon"],
+            jitter_rate=cfg["jitter_rate"],
+            drop_rate=cfg["drop_rate"],
+            max_jitter=cfg["max_jitter"],
+        )
+    res = simulate_overlap(
+        host,
+        steps=cfg["steps"],
+        min_copies=2,
+        faults=plan,
+        policy=cfg["policy"],
+        verify=True,
+    )
+    stats = res.exec_result.stats
+    lat = stats.step_latency_summary() or {}
+    row = {
+        "policy": cfg["policy"],
+        "max jitter": cfg["max_jitter"],
+        "engine": res.engine,
+        "slowdown": round(res.slowdown, 2),
+        "makespan": stats.makespan,
+        "messages": stats.messages,
+        "p50": lat.get("p50"),
+        "p95": lat.get("p95"),
+        "p99": lat.get("p99"),
+        "cancelled": stats.extras.get("cancelled_messages", 0),
+        "raced wins": stats.extras.get("raced_wins", 0),
+        "steal moves": stats.extras.get("steal_moves", 0),
+        "verified": res.verified,
+        # Raw samples ride along so the SweepRunner profile (and the
+        # service metrics) can fold them into fleet distributions.
+        "step_latency_samples": stats.step_latency_samples(),
+    }
+    return row
+
+
+def run(
+    quick: bool = True, n: int | None = None, policy: str | None = None
+) -> ExperimentResult:
+    """Run the policy × jitter-intensity sweep.
+
+    ``policy`` restricts the grid to one policy name (CLI
+    ``--policy``); default sweeps the whole family.
+    """
+    n = n or (48 if quick else 96)
+    steps = 8 if quick else 16
+    delay = 3
+    policies = [policy] if policy else list(POLICY_GRID)
+    for name in policies:
+        if name not in POLICIES:
+            raise ValueError(
+                f"unknown policy {name!r}; known: {sorted(set(POLICIES))}"
+            )
+    intensities = [0, 4, 12] if quick else [0, 2, 4, 8, 16]
+    # Faults must land inside the run to matter: the fault-free makespan
+    # is ~ steps * (delay + 2), so a horizon near it front-loads the
+    # jitter windows and drops where the tail actually forms.
+    horizon = 6 * steps
+
+    rows = sweep(
+        _policy_point,
+        [
+            {
+                "n": n,
+                "delay": delay,
+                "steps": steps,
+                "policy": name,
+                "max_jitter": jit,
+                "jitter_rate": 0.0 if jit == 0 else 0.9,
+                # Drops scale with intensity: a dropped single-issue
+                # stream stalls until the retry timeout, the tail racing
+                # is built to mask.
+                "drop_rate": min(0.6, 0.05 * jit),
+                "seed": SEED + j,
+                "horizon": horizon,
+            }
+            for j, jit in enumerate(intensities)
+            for name in policies
+        ],
+    )
+
+    def p99(policy_name: str, jit: int):
+        for r in rows:
+            if r["policy"] == policy_name and r["max jitter"] == jit:
+                return r["p99"]
+        return None
+
+    heavy = intensities[-1]
+    single_p99 = p99("single", heavy)
+    racing_p99 = p99("racing", heavy)
+    summary = {
+        "every run verified": all(r["verified"] for r in rows),
+        "heaviest jitter": heavy,
+        "single p99 (heavy)": single_p99,
+        "racing p99 (heavy)": racing_p99,
+        # None (not False) when --policy filtered one side out of the grid
+        "racing tames the tail": (
+            None
+            if single_p99 is None or racing_p99 is None
+            else racing_p99 <= single_p99
+        ),
+    }
+    columns = [
+        "policy", "max jitter", "engine", "slowdown", "makespan",
+        "messages", "p50", "p95", "p99", "cancelled", "raced wins",
+        "steal moves", "verified",
+    ]  # step_latency_samples rides in rows for profiling, not the table
+    return ExperimentResult(
+        "W1",
+        "Tail latency - execution policy vs link-jitter intensity",
+        rows,
+        summary=summary,
+        columns=columns,
+    )

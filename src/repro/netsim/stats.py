@@ -6,21 +6,98 @@ took (``makespan``), how much computation happened (``pebbles``, with
 ``redundant`` counting recomputations beyond the first), and how much
 communication happened (``messages`` end-to-end, ``pebble_hops`` per
 link traversal).
+
+The module is also the home of the shared percentile helpers: the
+single :func:`percentile` implementation used by step-latency
+reporting here, by :class:`~repro.telemetry.timeline.MetricsTimeline`
+and by :class:`~repro.telemetry.service.ServiceMetrics`, plus the
+*distribution extras* convention — an extras value shaped
+``{"__dist__": True, "samples": [...]}`` whose samples concatenate
+(never add) when stats from several runs are merged.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
+def percentile(values, q: float):
+    """The ``q``-quantile (0..1) of ``values``, linearly interpolated.
+
+    ``None`` on an empty sequence — a latency you never measured is not
+    zero, and the benchmark gates must fail loudly on it.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    vs = sorted(values)
+    if not vs:
+        return None
+    pos = (len(vs) - 1) * q
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    return vs[lo] + (vs[hi] - vs[lo]) * (pos - lo)
+
+
+def make_dist(samples) -> dict:
+    """Wrap raw samples as a distribution-valued extras entry.
+
+    Distribution extras survive :meth:`SimStats.merge` by sample
+    concatenation — the percentile of a merged distribution is computed
+    over the union of samples, which adding (the numeric merge rule)
+    would silently corrupt.
+    """
+    return {"__dist__": True, "samples": list(samples)}
+
+
+def is_dist(value) -> bool:
+    """Whether ``value`` is a distribution-valued extras entry."""
+    return isinstance(value, dict) and value.get("__dist__") is True
+
+
+def dist_summary(samples) -> dict:
+    """``{count, mean, p50, p95, p99}`` view of a sample list.
+
+    All fields ``None``-free only when samples exist; an empty
+    distribution reports ``count=0`` and ``None`` percentiles so a
+    missing measurement can never masquerade as a zero latency.
+    """
+    samples = list(samples)
+    n = len(samples)
+    return {
+        "count": n,
+        "mean": (sum(samples) / n) if n else None,
+        "p50": percentile(samples, 0.50),
+        "p95": percentile(samples, 0.95),
+        "p99": percentile(samples, 0.99),
+    }
+
+
+def latencies_from_completions(step_done) -> list[int]:
+    """Per-step latencies from a row-completion-time array.
+
+    ``step_done[t]`` is the time the *last* pebble of guest row ``t``
+    finished (``step_done[0] == 0``: the inputs are free).  The list of
+    consecutive differences is the per-step latency distribution whose
+    tail (p95/p99) the racing/stealing policies target; its sum is the
+    makespan, so mean step latency equals the classic slowdown.
+    """
+    return [
+        step_done[t] - step_done[t - 1] for t in range(1, len(step_done))
+    ]
+
+
 def _extras_kind(value) -> str:
-    """Merge-kind of one extras value: ``number`` accumulates, ``dict``
-    merges recursively, ``list`` concatenates, anything else is an
-    opaque scalar (last-writer-wins among its own kind)."""
+    """Merge-kind of one extras value: ``number`` accumulates, ``dist``
+    concatenates samples, ``dict`` merges recursively, ``list``
+    concatenates, anything else is an opaque scalar (last-writer-wins
+    among its own kind)."""
     if isinstance(value, bool):
         return "bool"
     if isinstance(value, (int, float)):
         return "number"
+    if is_dist(value):
+        return "dist"
     if isinstance(value, dict):
         return "dict"
     if isinstance(value, (list, tuple)):
@@ -48,6 +125,10 @@ def _merge_extras(target: dict, source: dict, path: str) -> None:
             )
         if kind == "number":
             target[key] = current + value
+        elif kind == "dist":
+            target[key] = make_dist(
+                list(current["samples"]) + list(value["samples"])
+            )
         elif kind == "dict":
             _merge_extras(current, value, path=f"{path}[{key!r}]")
         elif kind == "list":
@@ -104,6 +185,30 @@ class SimStats:
             self.extras.pop("smoke", None)
         return self
 
+    def record_step_latency(self, samples) -> "SimStats":
+        """Attach the per-step latency distribution of this run.
+
+        Stored as a distribution extras entry so sweep-level merges
+        concatenate the samples; :meth:`step_latency_summary` and
+        :meth:`as_dict` render the percentile view.  Returns ``self``
+        for chaining.
+        """
+        self.extras["step_latency"] = make_dist(samples)
+        return self
+
+    def step_latency_samples(self) -> list:
+        """Raw per-step latency samples (empty when never recorded)."""
+        dist = self.extras.get("step_latency")
+        return list(dist["samples"]) if is_dist(dist) else []
+
+    def step_latency_summary(self) -> dict | None:
+        """``{count, mean, p50, p95, p99}`` of the step latencies, or
+        ``None`` when the run recorded no distribution."""
+        dist = self.extras.get("step_latency")
+        if not is_dist(dist):
+            return None
+        return dist_summary(dist["samples"])
+
     def redundancy_factor(self) -> float:
         """Computed pebbles per distinct pebble (1.0 == no redundancy)."""
         distinct = self.pebbles - self.redundant
@@ -135,7 +240,17 @@ class SimStats:
         _merge_extras(self.extras, other.extras, path="extras")
 
     def as_dict(self) -> dict:
-        """Plain-dict view for report tables."""
+        """Plain-dict view for report tables.
+
+        Distribution extras are rendered as their percentile summary —
+        report tables want ``{count, mean, p50, p95, p99}``, not ten
+        thousand raw samples (which stay available on :attr:`extras`
+        for merging).
+        """
+        extras = {
+            key: dist_summary(value["samples"]) if is_dist(value) else value
+            for key, value in self.extras.items()
+        }
         return {
             "makespan": self.makespan,
             "pebbles": self.pebbles,
@@ -150,5 +265,5 @@ class SimStats:
             "recoveries": self.recoveries,
             "columns_lost": self.columns_lost,
             "crashed_nodes": self.crashed_nodes,
-            **self.extras,
+            **extras,
         }

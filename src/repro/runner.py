@@ -994,6 +994,14 @@ class SweepRunner:
                 self.last_chunk_size,
                 self.last_pool_reused,
             )
+            # Harvest per-step latency distributions from result rows
+            # that carry them (hits, delta replays and recomputes alike
+            # — the sweep distribution must not depend on cache state).
+            for res in results:
+                if isinstance(res, dict):
+                    samples = res.get("step_latency_samples")
+                    if samples:
+                        prof.record_step_latency(samples)
         return results
 
     def _run_delta_jobs(

@@ -239,6 +239,10 @@ class SimulationService:
             finally:
                 m.end_span(span)
             m.serve_request(tier, m.clock() - t0)
+            if isinstance(result, dict):
+                samples = result.get("step_latency_samples")
+                if samples:
+                    m.note_step_latency(samples)
             return result
         except asyncio.CancelledError:
             m.cancelled += 1

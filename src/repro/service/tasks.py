@@ -26,9 +26,15 @@ def overlap_point(config: dict) -> dict:
 
     Config keys (all optional): ``n`` hosts, ``delay`` per link,
     ``steps`` guest steps, ``block`` factor, ``c`` window constant,
-    ``engine`` tier.  Extra keys (e.g. a ``rep`` nonce to force
-    distinct cache entries) are ignored by the simulation but do
-    participate in the content hash.
+    ``engine`` tier, ``policy`` execution policy (``single`` /
+    ``racing`` / ``stealing`` / ``racing+stealing``; policies other
+    than ``single`` need ``min_copies`` >= 2).  Extra keys (e.g. a
+    ``rep`` nonce to force distinct cache entries) are ignored by the
+    simulation but do participate in the content hash.
+
+    The row carries the raw per-step latency samples alongside the
+    summary percentiles, so the service folds every served request
+    into its fleet-level ``ServiceMetrics.step_latency_summary()``.
     """
     host = HostArray.uniform(
         int(config.get("n", 32)), delay=int(config.get("delay", 1))
@@ -38,10 +44,14 @@ def overlap_point(config: dict) -> dict:
         steps=int(config.get("steps", 8)),
         c=float(config.get("c", 4.0)),
         block=int(config.get("block", 1)),
+        min_copies=int(config.get("min_copies", 1)),
         verify=bool(config.get("verify", False)),
         engine=str(config.get("engine", "auto")),
+        policy=str(config.get("policy", "single")),
     )
-    return res.summary()
+    row = res.summary()
+    row["step_latency_samples"] = res.exec_result.stats.step_latency_samples()
+    return row
 
 
 def ring_point(config: dict) -> dict:

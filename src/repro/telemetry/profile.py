@@ -19,6 +19,8 @@ experiments issue several sweeps per run.
 
 from __future__ import annotations
 
+from repro.netsim.stats import dist_summary
+
 
 class SweepProfile:
     """Accumulated wall-time attribution for one runner's sweeps."""
@@ -39,6 +41,10 @@ class SweepProfile:
         self.delta_fallbacks = 0
         #: per-delta-hit replayed fraction of the run's makespan
         self.delta_replayed: list[float] = []
+        #: simulated per-step latency samples harvested from result rows
+        #: that carry a ``step_latency_samples`` column (host steps, not
+        #: wall seconds) — the sweep-level latency distribution
+        self.step_latency_samples: list = []
 
     # -- recording (called by SweepRunner) -------------------------------
     def record_chunk(self, pid: int, configs: int, wall_s: float) -> None:
@@ -59,6 +65,12 @@ class SweepProfile:
         self.delta_fallbacks += fallbacks
         if replayed_fraction is not None:
             self.delta_replayed.append(replayed_fraction)
+
+    def record_step_latency(self, samples) -> None:
+        """Fold one result's per-step latency samples into the sweep
+        distribution (concatenation — percentiles are computed over the
+        union, matching the ``SimStats`` dist-merge rule)."""
+        self.step_latency_samples.extend(samples)
 
     def record_map(
         self,
@@ -129,6 +141,11 @@ class SweepProfile:
                 }
                 for pid, agg in sorted(self.per_worker().items())
             },
+            "step_latency": (
+                dist_summary(self.step_latency_samples)
+                if self.step_latency_samples
+                else None
+            ),
         }
 
 
@@ -181,4 +198,11 @@ def format_profile(profile) -> str:
                 f"    pid {pid}: {agg['chunks']} chunk(s), "
                 f"{agg['configs']} config(s), {agg['wall_s']:.3f}s"
             )
+    steps = profile.get("step_latency")
+    if steps:
+        lines.append(
+            f"  step latency: {steps['count']} step(s), "
+            f"p50 {steps['p50']}, p95 {steps['p95']}, p99 {steps['p99']} "
+            "(host steps)"
+        )
     return "\n".join(lines)

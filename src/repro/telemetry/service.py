@@ -25,27 +25,14 @@ like per serving tier.  :class:`ServiceMetrics` is the ledger:
 
 from __future__ import annotations
 
-import math
 import time
 
+# Shared implementation: the same linear-interpolation quantile serves
+# SimStats step-latency reporting, MetricsTimeline and this ledger.
+# Re-exported here because service callers historically imported it
+# from this module.
+from repro.netsim.stats import dist_summary, percentile  # noqa: F401
 from repro.telemetry.spans import Span, SpanLog
-
-
-def percentile(values, q: float):
-    """The ``q``-quantile (0..1) of ``values``, linearly interpolated.
-
-    ``None`` on an empty sequence — a latency you never measured is not
-    zero, and the benchmark gates must fail loudly on it.
-    """
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
-    vs = sorted(values)
-    if not vs:
-        return None
-    pos = (len(vs) - 1) * q
-    lo = math.floor(pos)
-    hi = math.ceil(pos)
-    return vs[lo] + (vs[hi] - vs[lo]) * (pos - lo)
 
 
 class ServiceMetrics:
@@ -82,6 +69,10 @@ class ServiceMetrics:
         self.queue_depth_peak = 0
         #: serving tier -> request latency samples (seconds)
         self.latencies: dict[str, list[float]] = {}
+        #: simulated per-step latency samples harvested from served
+        #: results (host steps, not wall seconds) — the service-level
+        #: view of the executor tail-latency distribution
+        self.step_latency_samples: list = []
         #: request/execute spans (wall-clock, explicit handles)
         self.spans: list[Span] = []
 
@@ -97,6 +88,11 @@ class ServiceMetrics:
     def serve_request(self, tier: str, latency_s: float) -> None:
         self.served[tier] = self.served.get(tier, 0) + 1
         self.latencies.setdefault(tier, []).append(latency_s)
+
+    def note_step_latency(self, samples) -> None:
+        """Fold a served result's per-step latency samples into the
+        fleet distribution (see :meth:`step_latency_summary`)."""
+        self.step_latency_samples.extend(samples)
 
     def count_execution(self, origin: str) -> None:
         if origin == "cache":
@@ -123,15 +119,24 @@ class ServiceMetrics:
         return sum(self.served.values())
 
     def latency_summary(self) -> dict[str, dict]:
-        """Per-tier ``{count, p50_ms, p99_ms}`` (milliseconds)."""
+        """Per-tier ``{count, p50_ms, p95_ms, p99_ms}`` (milliseconds)."""
         out = {}
         for tier, samples in sorted(self.latencies.items()):
             out[tier] = {
                 "count": len(samples),
                 "p50_ms": round(1e3 * percentile(samples, 0.50), 4),
+                "p95_ms": round(1e3 * percentile(samples, 0.95), 4),
                 "p99_ms": round(1e3 * percentile(samples, 0.99), 4),
             }
         return out
+
+    def step_latency_summary(self) -> dict | None:
+        """``{count, mean, p50, p95, p99}`` of harvested per-step
+        latencies (simulated host steps), ``None`` before any result
+        carried a distribution."""
+        if not self.step_latency_samples:
+            return None
+        return dist_summary(self.step_latency_samples)
 
     def span_log(self) -> SpanLog:
         """The spans packed into a :class:`SpanLog` (for Chrome export)."""
@@ -202,6 +207,7 @@ class ServiceMetrics:
             "queue_depth": self.queue_depth,
             "queue_depth_peak": self.queue_depth_peak,
             "latency": self.latency_summary(),
+            "step_latency": self.step_latency_summary(),
             "spans": len(self.spans),
         }
 
@@ -241,8 +247,17 @@ def format_service_metrics(metrics) -> str:
         f"queue depth peak {metrics.get('queue_depth_peak', 0)}"
     )
     for tier, rec in metrics.get("latency", {}).items():
+        p95 = rec.get("p95_ms")
+        p95_txt = f", p95 {p95:.3f}ms" if p95 is not None else ""
         lines.append(
             f"  {tier}: {rec['count']} request(s), "
-            f"p50 {rec['p50_ms']:.3f}ms, p99 {rec['p99_ms']:.3f}ms"
+            f"p50 {rec['p50_ms']:.3f}ms{p95_txt}, p99 {rec['p99_ms']:.3f}ms"
+        )
+    steps = metrics.get("step_latency")
+    if steps:
+        lines.append(
+            f"  step latency: {steps['count']} step(s), "
+            f"p50 {steps['p50']}, p95 {steps['p95']}, p99 {steps['p99']} "
+            "(host steps)"
         )
     return "\n".join(lines)

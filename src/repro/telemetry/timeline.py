@@ -30,6 +30,7 @@ link until its arrival step.
 
 from __future__ import annotations
 
+from repro.netsim.stats import latencies_from_completions, percentile
 from repro.telemetry.spans import SpanLog
 
 
@@ -48,6 +49,8 @@ class MetricsTimeline:
         "arrivals",
         "deliveries",
         "lost",
+        "cancelled",
+        "step_done",
         "faults",
         "spans",
         "positions",
@@ -63,6 +66,10 @@ class MetricsTimeline:
         self.arrivals: dict[int, int] = {}
         self.deliveries: dict[int, int] = {}
         self.lost: dict[int, int] = {}
+        self.cancelled: dict[int, int] = {}
+        #: guest row -> host step its last pebble completed (the raced
+        #: per-step latency source; see :meth:`step_latencies`)
+        self.step_done: dict[int, int] = {}
         self.faults: list[tuple[int, str, str]] = []
         self.spans = SpanLog()
         self.positions: set[int] = set()
@@ -86,6 +93,9 @@ class MetricsTimeline:
         else:
             self._seen.add(key)
         self.positions.add(pos)
+        sd = self.step_done
+        if t > sd.get(row, 0):
+            sd[row] = t
 
     def send(self, t_inject: int, t_arrive: int) -> None:
         """One link injection in slot ``t_inject``, arriving ``t_arrive``."""
@@ -109,6 +119,13 @@ class MetricsTimeline:
         d = self.lost
         d[t] = d.get(t, 0) + n
 
+    def cancel(self, t: int, n: int = 1) -> None:
+        """``n`` raced sends cancelled at step ``t`` (racing policy:
+        the subscriber already advanced past the pebble, so the message
+        is abandoned before consuming a link slot)."""
+        d = self.cancelled
+        d[t] = d.get(t, 0) + n
+
     def fault(self, t: int, kind: str, detail: str = "") -> None:
         """A fault/recovery state change (crash, retry, recovery...)."""
         self.faults.append((t, kind, detail))
@@ -125,6 +142,7 @@ class MetricsTimeline:
             self.arrivals,
             self.deliveries,
             self.lost,
+            self.cancelled,
         ):
             if d:
                 m = max(d)
@@ -139,8 +157,8 @@ class MetricsTimeline:
         """Dense per-step array (index 0..horizon) of one counter.
 
         Names: ``pebbles``, ``redundant``, ``messages``, ``hops``,
-        ``arrivals``, ``deliveries``, ``lost``, plus the derived
-        ``in_flight`` (pebbles occupying links) and ``stalled``
+        ``arrivals``, ``deliveries``, ``lost``, ``cancelled``, plus the
+        derived ``in_flight`` (pebbles occupying links) and ``stalled``
         (active positions not computing).
         """
         if name == "in_flight":
@@ -155,6 +173,7 @@ class MetricsTimeline:
             "arrivals",
             "deliveries",
             "lost",
+            "cancelled",
         ):
             raise KeyError(f"unknown series {name!r}")
         d = getattr(self, name)
@@ -207,9 +226,26 @@ class MetricsTimeline:
             "hops": sum(self.hops.values()),
             "deliveries": sum(self.deliveries.values()),
             "lost": sum(self.lost.values()),
+            "cancelled": sum(self.cancelled.values()),
             "stalled": sum(self.stalled()),
             "faults": len(self.faults),
         }
+
+    def step_latencies(self) -> list[int]:
+        """Per-guest-row latencies derived from the pebble stream.
+
+        Row ``t``'s completion time is the host step its last pebble
+        (any replica, any epoch) finished; consecutive differences are
+        the per-step latency distribution whose tail the racing and
+        stealing policies target.  Empty before any pebble is recorded.
+        """
+        sd = self.step_done
+        if not sd:
+            return []
+        done = [0] * (max(sd) + 1)
+        for row, t in sd.items():
+            done[row] = t
+        return latencies_from_completions(done)
 
     def reconcile(self, stats) -> dict:
         """Check the per-step counters sum to a run's ``SimStats``.
@@ -226,6 +262,11 @@ class MetricsTimeline:
             ("messages", totals["messages"], stats.messages),
             ("hops", totals["hops"], stats.pebble_hops),
             ("lost", totals["lost"], stats.lost_messages),
+            (
+                "cancelled",
+                totals["cancelled"],
+                stats.extras.get("cancelled_messages", 0),
+            ),
         ]
         if stats.recoveries == 0:
             checks.append(("redundant", totals["redundant"], stats.redundant))
@@ -234,6 +275,19 @@ class MetricsTimeline:
                 raise ValueError(
                     f"timeline/{name} = {have} does not reconcile with "
                     f"SimStats ({want})"
+                )
+        samples = (
+            stats.step_latency_samples()
+            if hasattr(stats, "step_latency_samples")
+            else []
+        )
+        if samples and self.step_done:
+            mine = self.step_latencies()
+            if mine != list(samples):
+                raise ValueError(
+                    "timeline/step_latencies does not reconcile with the "
+                    f"SimStats step_latency distribution: {len(mine)} vs "
+                    f"{len(samples)} sample(s) or differing values"
                 )
         return totals
 
@@ -255,6 +309,10 @@ class MetricsTimeline:
         }
         inflight = self.in_flight()
         out["peak_in_flight"] = max(inflight, default=0)
+        lats = self.step_latencies()
+        out["step_p50"] = percentile(lats, 0.50)
+        out["step_p95"] = percentile(lats, 0.95)
+        out["step_p99"] = percentile(lats, 0.99)
         return out
 
     def ascii_timeline(
@@ -305,6 +363,8 @@ class MetricsTimeline:
         "arrivals",
         "deliveries",
         "lost",
+        "cancelled",
+        "step_done",
     )
 
     def snapshot(self) -> dict:
@@ -353,6 +413,7 @@ class MetricsTimeline:
                     "hops",
                     "deliveries",
                     "lost",
+                    "cancelled",
                     "in_flight",
                     "stalled",
                 )

@@ -103,3 +103,63 @@ def test_as_dict_includes_extras():
 
 def test_work():
     assert SimStats(pebbles=9).work() == 9
+
+
+def test_merge_extras_dists_concatenate_not_add():
+    # Regression: distribution extras ({"__dist__": True, "samples"})
+    # must merge by sample concatenation; the numeric rule would have
+    # added pointwise (or dict-merged) and corrupted every percentile.
+    from repro.netsim.stats import make_dist
+
+    a = SimStats()
+    a.record_step_latency([3, 5])
+    b = SimStats()
+    b.record_step_latency([4])
+    a.merge(b)
+    assert a.step_latency_samples() == [3, 5, 4]
+    assert a.extras["step_latency"] == make_dist([3, 5, 4])
+    # Percentiles are computed over the union of samples.
+    assert a.step_latency_summary()["count"] == 3
+    assert a.step_latency_summary()["p50"] == 4
+
+
+def test_merge_extras_dist_kind_conflict_raises():
+    from repro.netsim.stats import make_dist
+
+    a = SimStats()
+    a.extras["step_latency"] = make_dist([1])
+    b = SimStats()
+    b.extras["step_latency"] = [2, 3]  # a plain list is not a dist
+    with pytest.raises(ValueError, match=r"extras\['step_latency'\]"):
+        a.merge(b)
+
+
+def test_as_dict_renders_dist_summary():
+    s = SimStats(makespan=12)
+    s.record_step_latency([4, 4, 4])
+    d = s.as_dict()
+    assert d["step_latency"] == {
+        "count": 3,
+        "mean": 4.0,
+        "p50": 4,
+        "p95": 4,
+        "p99": 4,
+    }
+
+
+def test_percentile_helper_edges():
+    from repro.netsim.stats import percentile
+
+    assert percentile([], 0.5) is None
+    assert percentile([7], 0.99) == 7
+    assert percentile([1, 3], 0.5) == 2.0
+    with pytest.raises(ValueError):
+        percentile([1], 1.5)
+
+
+def test_latencies_from_completions_sum_to_makespan():
+    from repro.netsim.stats import latencies_from_completions
+
+    lats = latencies_from_completions([0, 4, 6, 11])
+    assert lats == [4, 2, 5]
+    assert sum(lats) == 11
